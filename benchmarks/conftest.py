@@ -1,0 +1,68 @@
+"""Benchmark fixtures.
+
+Two worlds (DESIGN.md section 7):
+
+* **tables** — ``harm_scale=1.0``: Tables 2/3 and the headline must be
+  paper-exact, so the calibrated populations are not scaled;
+* **figures** — ``harm_scale=0.1, bulk_scale=1.0``: restores the real
+  dataset's proportions (the affected hostnames are a sliver of the
+  web), which is what gives Figures 5-7 the paper's curve shapes.
+
+World construction is excluded from every timing: the benchmarks time
+the *analysis* steps, never the synthesis.  Each bench also prints the
+regenerated rows (run with ``-s`` to see them) and writes them to
+``benchmarks/artifacts/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.boundaries import run_sweep
+from repro.analysis.context import get_context
+from repro.webgraph.synthesis import SnapshotConfig
+
+BENCH_SEED = 20230701
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a regenerated table/figure for inspection."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    with open(os.path.join(ARTIFACT_DIR, name), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def tables_world():
+    """Paper-exact harm populations, slim background."""
+    return get_context(
+        BENCH_SEED, SnapshotConfig(seed=BENCH_SEED, harm_scale=1.0, bulk_scale=0.25)
+    )
+
+
+@pytest.fixture(scope="session")
+def figures_world():
+    """Real-world-proportioned populations for the figure shapes."""
+    return get_context(
+        BENCH_SEED, SnapshotConfig(seed=BENCH_SEED, harm_scale=0.1, bulk_scale=1.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def tables_sweep(tables_world):
+    return run_sweep(tables_world.store, tables_world.snapshot)
+
+
+@pytest.fixture(scope="session")
+def figures_sweep(figures_world):
+    return run_sweep(figures_world.store, figures_world.snapshot)
+
+
+@pytest.fixture(scope="session")
+def tables_harm(tables_world, tables_sweep):
+    from repro.analysis.harm import harm_analysis
+
+    return harm_analysis(tables_world, tables_sweep)

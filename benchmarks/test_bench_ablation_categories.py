@@ -1,0 +1,39 @@
+"""Ablation — what kind of rules drive each growth phase.
+
+Extends Figure 2 with the paper's Section 3 IANA categorization: the
+early list is ccTLD structure, the 2012 burst is country-code
+geographic rules, and the 2013-2016 growth phase is private domains
+plus the new-gTLD program.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.categories import final_breakdown, growth_attribution
+
+
+def test_bench_ablation_category_attribution(benchmark, tables_world):
+    store = tables_world.store
+
+    def attribute():
+        return {
+            "2007-2011": growth_attribution(store, 2007, 2011),
+            "2012": growth_attribution(store, 2012, 2012),
+            "2013-2016": growth_attribution(store, 2013, 2016),
+            "2017-2022": growth_attribution(store, 2017, 2022),
+            "final": final_breakdown(store),
+        }
+
+    result = benchmark.pedantic(attribute, rounds=1, iterations=1)
+
+    lines = []
+    for phase, counts in result.items():
+        parts = ", ".join(f"{k}: {v:+d}" if phase != "final" else f"{k}: {v}"
+                          for k, v in sorted(counts.items(), key=lambda kv: -abs(kv[1])))
+        lines.append(f"{phase:10s} {parts}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_artifact("ablation_categories.txt", text)
+
+    assert result["2012"]["country-code"] > 1500          # the JP burst
+    assert result["2013-2016"]["private"] > 100           # PRIVATE growth phase
+    assert result["2017-2022"]["private"] > 800           # the calibrated schedule
+    assert result["final"]["private"] > 1000

@@ -1,0 +1,44 @@
+"""Ablation — robustness of the reproduction to the world seed.
+
+The calibrated quantities (headline, Table 2 columns, medians) must be
+invariant across synthetic worlds: they are pinned by the paper's
+constraints, not by any particular random draw.  This bench rebuilds
+the world under different seeds and asserts the invariants; the
+timing quantifies full-world construction cost.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.boundaries import run_sweep
+from repro.analysis.context import get_context
+from repro.analysis.harm import harm_analysis
+from repro.data import paper
+from repro.webgraph.synthesis import SnapshotConfig
+
+ALTERNATE_SEEDS = (7, 99)
+
+
+def _world_headline(seed: int) -> tuple[int, int]:
+    context = get_context(
+        seed, SnapshotConfig(seed=seed, harm_scale=1.0, bulk_scale=0.05)
+    )
+    sweep = run_sweep(context.store, context.snapshot)
+    result = harm_analysis(context, sweep)
+    return result.missing_etld_count, result.affected_hostname_count
+
+
+def test_bench_ablation_seed_sensitivity(benchmark):
+    def rebuild_all():
+        return {seed: _world_headline(seed) for seed in ALTERNATE_SEEDS}
+
+    results = benchmark.pedantic(rebuild_all, rounds=1, iterations=1)
+
+    lines = ["seed      missing eTLDs   affected hostnames"]
+    for seed, (etlds, hostnames) in results.items():
+        lines.append(f"{seed:<8d} {etlds:>12d} {hostnames:>20d}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_artifact("ablation_seed_sensitivity.txt", text)
+
+    for seed, (etlds, hostnames) in results.items():
+        assert etlds == paper.MISSING_ETLD_COUNT, seed
+        assert hostnames == paper.AFFECTED_HOSTNAME_COUNT, seed

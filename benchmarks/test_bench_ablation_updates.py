@@ -1,0 +1,45 @@
+"""Ablation — update-strategy staleness model (DESIGN.md extension).
+
+Quantifies the paper's qualitative risk ordering of the *updated*
+sub-strategies (user < build < server < fixed) across fetch-failure
+rates, and benches the simulation itself.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.updates import compare_strategies
+
+
+def test_bench_ablation_update_strategies(benchmark):
+    outcomes = benchmark(compare_strategies)
+
+    lines = ["strategy              mean age   p95 age   worst   failed/attempted"]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.strategy:20s} {outcome.mean_age_days:8.1f} {outcome.p95_age_days:9.1f} "
+            f"{outcome.worst_age_days:7d}   {outcome.refreshes_failed}/{outcome.refreshes_attempted}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_artifact("ablation_update_strategies.txt", text)
+
+    order = [outcome.strategy for outcome in outcomes]
+    assert order == ["updated/user", "updated/build", "updated/server", "fixed"]
+
+
+def test_bench_ablation_failure_sensitivity(benchmark):
+    """Sweep the fetch-failure probability: even at high failure rates,
+    any refresh strategy beats fixed — the paper's central advice."""
+
+    def sweep():
+        rows = []
+        for failure in (0.0, 0.25, 0.5, 0.75, 0.95):
+            outcomes = {
+                o.strategy: o.mean_age_days
+                for o in compare_strategies(failure_probability=failure)
+            }
+            rows.append((failure, outcomes))
+        return rows
+
+    rows = benchmark(sweep)
+    for failure, outcomes in rows:
+        assert outcomes["updated/user"] < outcomes["fixed"], failure

@@ -1,0 +1,22 @@
+"""Ablation — residual harm under refresh policies (extension).
+
+Turns the paper's "update your list" recommendation into a dose-response
+curve: the measured misclassified-hostname count for a project
+complying with each maximum-list-age policy.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.whatif import policy_curve, render_policy_curve
+
+
+def test_bench_ablation_refresh_policies(benchmark, tables_sweep):
+    outcomes = benchmark(policy_curve, tables_sweep)
+
+    text = render_policy_curve(outcomes)
+    print("\n" + text)
+    save_artifact("ablation_refresh_policies.txt", text)
+
+    by_age = {outcome.max_age_days: outcome for outcome in outcomes}
+    assert by_age[30].removal_fraction > 0.99
+    assert by_age[365].removal_fraction > 0.8
+    assert by_age[2070].removed_misclassified_hostnames == 0

@@ -1,0 +1,44 @@
+"""Dataset description — the numbers a measurement paper's data
+section reports, computed for both world presets, plus the pairwise
+exposure extension table.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.exposure import corpus_exposure, render_exposure
+from repro.webgraph.stats import render_statistics, snapshot_statistics
+
+
+def test_bench_dataset_statistics(benchmark, tables_world, figures_world):
+    def describe():
+        return (
+            snapshot_statistics(tables_world.snapshot),
+            snapshot_statistics(figures_world.snapshot),
+        )
+
+    tables_stats, figures_stats = benchmark.pedantic(describe, rounds=1, iterations=1)
+
+    text = (
+        "tables preset (harm exact):\n"
+        + render_statistics(tables_stats)
+        + "\n\nfigures preset (real-world proportions):\n"
+        + render_statistics(figures_stats)
+    )
+    print("\n" + text)
+    save_artifact("dataset_statistics.txt", text)
+
+    assert tables_stats.hostnames > 50_750  # harm populations + background
+    assert figures_stats.hostnames > tables_stats.hostnames / 2
+    assert tables_stats.distinct_tlds > 100
+
+
+def test_bench_dataset_exposure(benchmark, tables_world, tables_sweep):
+    reports = benchmark.pedantic(
+        corpus_exposure, args=(tables_world,), rounds=1, iterations=1
+    )
+
+    text = render_exposure(reports, limit=12)
+    print("\n" + text)
+    save_artifact("dataset_exposure.txt", text)
+
+    assert len(reports) == 43
+    assert reports[0].autofill_pairs > 10_000_000

@@ -1,0 +1,31 @@
+"""FIG1 — the illustrative example, computed from real list versions.
+
+Paper text: "PSL v1 creates 3 sites (with an average of 1.33 domains
+in each site), while PSL v2 creates 4 sites (with 1 domain in each)".
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.figure1 import (
+    PAPER_V1_RULES,
+    PAPER_V2_RULES,
+    figure1,
+    render_figure1,
+)
+from repro.psl.parser import parse_psl
+
+
+def test_bench_fig1_illustration(benchmark):
+    v1 = parse_psl(PAPER_V1_RULES)
+    v2 = parse_psl(PAPER_V2_RULES)
+
+    panels = benchmark(figure1, v1, v2)
+
+    text = render_figure1(panels)
+    print("\n" + text)
+    save_artifact("fig1_illustration.txt", text)
+
+    old, new = panels
+    assert old.site_count == 3
+    assert round(old.mean_domains_per_site, 2) == 1.33
+    assert new.site_count == 4
+    assert new.mean_domains_per_site == 1.0

@@ -1,0 +1,32 @@
+"""FIG2 — growth of the Public Suffix List over time.
+
+Paper values: 2,447 rules (2007-03-22) -> 8,062 (2017) -> 9,368
+(2022-10-20) over 1,142 versions; component mix 17% / 57.5% / 25.3% /
+~0.1%; a ~1,623-rule burst in mid-2012.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import growth, report
+from repro.data import paper
+
+
+def test_bench_fig2_growth(benchmark, tables_world):
+    store = tables_world.store
+
+    def regenerate():
+        return growth.summarize(store), growth.figure2_series(store)
+
+    summary, series = benchmark(regenerate)
+
+    text = report.render_figure2(summary, series)
+    print("\n" + text)
+    save_artifact("fig2_growth.txt", text)
+
+    assert summary.first_rule_count == paper.FIRST_RULE_COUNT
+    assert summary.final_rule_count == paper.FINAL_RULE_COUNT
+    assert summary.version_count == paper.HISTORY_VERSION_COUNT
+    assert abs(summary.rule_count_2017 - paper.RULE_COUNT_2017) <= 25
+    assert summary.largest_spike[0].year == paper.JP_SPIKE_YEAR
+    assert abs(summary.largest_spike[1] - paper.JP_SPIKE_SIZE) <= 25
+    for bucket, share in enumerate((0.17, 0.575, 0.253)):
+        assert abs(summary.final_component_share[bucket] - share) < 0.01

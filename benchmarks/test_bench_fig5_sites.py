@@ -1,0 +1,34 @@
+"""FIG5 — number of sites formed under each list version.
+
+Paper shape: broadly flat through the early years, rapid growth
+2013-2016, plateau after; the newest list forms 359,966 more sites
+than the first (at the paper's 498M-request scale — the measured
+value scales with the snapshot, the *shape* is asserted here).
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import report
+from repro.analysis.boundaries import run_sweep
+
+
+def test_bench_fig5_sites(benchmark, figures_world):
+    store = figures_world.store
+    snapshot = figures_world.snapshot
+
+    sweep = benchmark.pedantic(run_sweep, args=(store, snapshot), rounds=1, iterations=1)
+
+    text = report.render_figure5(sweep)
+    print("\n" + text)
+    save_artifact("fig5_sites.txt", text)
+
+    by_year = {point.date.year: point.site_count for point in sweep.yearly()}
+    # Latest forms strictly more sites than the first version.
+    assert sweep.additional_sites_latest_vs_first > 0
+    # Broadly flat early: 2007-2012 movement is small relative to the
+    # 2013-2016 growth phase.
+    early = abs(by_year[2012] - by_year[2007])
+    growth_phase = by_year[2016] - by_year[2013]
+    assert growth_phase > 3 * max(early, 1)
+    # Plateau: the post-2016 increase is well below the growth phase.
+    late = by_year[2022] - by_year[2016]
+    assert late < growth_phase / 2

@@ -1,0 +1,30 @@
+"""FIG6 — requests classified third-party under each list version.
+
+Paper shape: a significant early drop (the list formalizes ownership
+boundaries, removing misclassified third parties), a plateau, then a
+steady rise from 2014 through 2022 as subdomain-hosting suffixes keep
+being added.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import report
+
+
+def test_bench_fig6_thirdparty(benchmark, figures_world, figures_sweep):
+    sweep = figures_sweep
+
+    def series():
+        return [(point.date, point.third_party_requests) for point in sweep.yearly()]
+
+    benchmark(series)
+
+    text = report.render_figure6(sweep)
+    print("\n" + text)
+    save_artifact("fig6_thirdparty.txt", text)
+
+    by_year = {point.date.year: point.third_party_requests for point in sweep.yearly()}
+    # Early drop: the wildcard-era refinements reduce the count.
+    assert by_year[2013] < by_year[2007]
+    # Steady rise 2014 -> 2022.
+    assert by_year[2018] > by_year[2014]
+    assert by_year[2022] > by_year[2018]

@@ -1,0 +1,31 @@
+"""FIG7 — hostnames grouped into different sites than the newest list.
+
+Paper shape: the older the list, the more hostnames sit in the wrong
+site; the significant rule additions land 2007-2016, with smaller
+shifts in recent years; the curve reaches zero at the newest version.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import report
+
+
+def test_bench_fig7_misclassified(benchmark, figures_sweep):
+    sweep = figures_sweep
+
+    def series():
+        return [(point.date, point.diff_vs_latest) for point in sweep.yearly()]
+
+    benchmark(series)
+
+    text = report.render_figure7(sweep)
+    print("\n" + text)
+    save_artifact("fig7_misclassified.txt", text)
+
+    values = [point.diff_vs_latest for point in sweep.yearly()]
+    assert values[-1] == 0
+    assert values[0] >= 0.95 * max(values)
+    # Most of the shift happens before 2017.
+    by_year = {point.date.year: point.diff_vs_latest for point in sweep.yearly()}
+    drop_early = by_year[2007] - by_year[2016]
+    drop_late = by_year[2016] - by_year[2022]
+    assert drop_early > drop_late

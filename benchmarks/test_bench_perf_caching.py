@@ -1,0 +1,47 @@
+"""PERF ablation — memoized vs. raw lookups on a crawl-shaped workload.
+
+Snapshot processing revisits the same hostnames constantly (request
+targets recur across pages); the caching matcher turns repeat lookups
+into one dict probe.  The bench replays the tables snapshot's request
+stream both ways.
+"""
+
+import pytest
+
+from repro.psl.caching import CachingMatcher
+
+
+@pytest.fixture(scope="module")
+def request_stream(tables_world):
+    pairs = list(tables_world.snapshot.iter_request_pairs())[:20_000]
+    hosts = [host for pair in pairs for host in pair]
+    return tables_world.store.checkout(-1), hosts
+
+
+def test_bench_lookup_raw(benchmark, request_stream):
+    psl, hosts = request_stream
+
+    def run():
+        for host in hosts:
+            psl.match(host)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_lookup_cached(benchmark, request_stream):
+    psl, hosts = request_stream
+    matcher = CachingMatcher(psl, capacity=100_000)
+
+    def run():
+        for host in hosts:
+            matcher.match(host)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    assert matcher.hit_rate > 0.5  # crawl workloads repeat hostnames
+
+
+def test_cached_results_equal_raw(request_stream):
+    psl, hosts = request_stream
+    matcher = CachingMatcher(psl)
+    for host in hosts[:500]:
+        assert matcher.match(host) == psl.match(host)

@@ -1,0 +1,57 @@
+"""PERF ablation — digest dating vs. nearest-match probing.
+
+DESIGN.md design-choice 3: exact dating is one XOR-digest lookup;
+locally modified lists fall back to anchored nearest-match probing.
+This bench shows the cost gap and why the digest index exists at all
+(the paper dated hundreds of vendored copies).
+"""
+
+import datetime
+
+import pytest
+
+from repro.data import paper
+from repro.psl.serialize import serialize_rules
+from repro.repos.dating import ListDater
+
+
+@pytest.fixture(scope="module")
+def dating_workload(tables_world):
+    store = tables_world.store
+    dater = ListDater(store)
+    version = store.version_at_date(paper.MEASUREMENT_DATE - datetime.timedelta(days=900))
+    pristine = serialize_rules(store.rules_at(version.index))
+    modified = pristine + "intranet.example\n"
+    # Prime the dater's probe cache so the bench measures steady state.
+    dater.date_text(modified)
+    return dater, pristine, modified, version.index
+
+
+def test_bench_dating_exact_digest(benchmark, dating_workload):
+    dater, pristine, _, expected_index = dating_workload
+    result = benchmark(dater.date_text, pristine)
+    assert result.is_exact and result.version_index == expected_index
+
+
+def test_bench_dating_nearest_match(benchmark, dating_workload):
+    dater, _, modified, expected_index = dating_workload
+    result = benchmark(dater.date_text, modified)
+    assert not result.is_exact
+    assert abs(result.version_index - expected_index) <= 8
+
+
+def test_bench_dating_cold_corpus(benchmark, tables_world):
+    """Dating the full 273-repository corpus from a cold dater."""
+    store = tables_world.store
+    corpus = tables_world.corpus
+    texts = [repo.files[repo.psl_paths()[0]] for repo in corpus]
+
+    def run():
+        dater = ListDater(store)
+        return sum(
+            1 for text in texts
+            if (result := dater.date_text(text)) is not None and result.is_exact
+        )
+
+    exact = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert exact == 151

@@ -1,0 +1,58 @@
+"""PERF — PSL engine micro-benchmarks.
+
+Parse/serialize throughput on the full 9,368-rule list and the cost of
+the core lookup operations, so downstream users know what a hot-path
+``registrable_domain`` call costs.
+"""
+
+import pytest
+
+from repro.psl.parser import parse_psl
+from repro.psl.serialize import serialize_psl
+
+
+@pytest.fixture(scope="module")
+def full_list_text(tables_world):
+    return serialize_psl(tables_world.store.checkout(-1))
+
+
+@pytest.fixture(scope="module")
+def full_psl(tables_world):
+    return tables_world.store.checkout(-1)
+
+
+def test_bench_parse_full_list(benchmark, full_list_text):
+    psl = benchmark(parse_psl, full_list_text)
+    assert len(psl) == 9368
+
+
+def test_bench_serialize_full_list(benchmark, full_psl):
+    text = benchmark(serialize_psl, full_psl)
+    assert text.count("\n") > 9000
+
+
+def test_bench_registrable_domain(benchmark, full_psl):
+    def run():
+        return (
+            full_psl.registrable_domain("www.amazon.co.uk"),
+            full_psl.registrable_domain("tenant.myshopify.com"),
+            full_psl.registrable_domain("a.b.c.unknown-zone"),
+        )
+
+    results = benchmark(run)
+    assert results[0] == "amazon.co.uk"
+
+
+def test_bench_same_site(benchmark, full_psl):
+    def run():
+        return full_psl.same_site("a.github.io", "b.github.io")
+
+    assert benchmark(run) is False
+
+
+def test_bench_build_trie(benchmark, tables_world):
+    rules = tables_world.store.rules_at(-1)
+    from repro.psl.trie import SuffixTrie
+
+    trie = benchmark(SuffixTrie, rules)
+    assert len(trie) == 9368

@@ -1,0 +1,60 @@
+"""PERF ablation — incremental regrouping vs. full recompute.
+
+DESIGN.md design-choice 2: the Figures 5-7 sweep applies 1,141 deltas.
+Recomputing the full grouping per version costs |hostnames| lookups
+each time; the incremental grouper re-examines only hostnames under
+the touched rules.  The sweep over the whole history is only feasible
+incrementally — this bench shows the per-version gap.
+"""
+
+import pytest
+
+from repro.psl.list import PublicSuffixList
+from repro.webgraph.sites import IncrementalGrouper, group_sites
+
+
+@pytest.fixture(scope="module")
+def sweep_segment(tables_world):
+    """A mid-history segment of 20 versions plus the hostname universe."""
+    store = tables_world.store
+    start = len(store) // 2
+    versions = store.versions[start + 1 : start + 21]
+    return store, start, versions, tables_world.snapshot.hostnames
+
+
+def test_bench_incremental_regroup(benchmark, sweep_segment):
+    store, start, versions, hostnames = sweep_segment
+    initial_rules = store.rules_at(start)
+
+    def run():
+        grouper = IncrementalGrouper(initial_rules, hostnames)
+        for version in versions:
+            grouper.apply(version.delta)
+        return grouper.site_count
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_bench_full_recompute(benchmark, sweep_segment):
+    store, start, versions, hostnames = sweep_segment
+    subset = versions[:3]  # full recompute per version is the slow path
+
+    def run():
+        counts = []
+        for version in subset:
+            psl = PublicSuffixList(store.rules_at(version.index))
+            counts.append(len(set(group_sites(psl, hostnames).values())))
+        return counts
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_incremental_matches_full_recompute(sweep_segment):
+    store, start, versions, hostnames = sweep_segment
+    grouper = IncrementalGrouper(store.rules_at(start), hostnames)
+    for version in versions:
+        grouper.apply(version.delta)
+    final = group_sites(
+        PublicSuffixList(store.rules_at(versions[-1].index)), hostnames
+    )
+    assert dict(grouper.assignment) == final

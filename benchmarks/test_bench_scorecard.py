@@ -1,0 +1,25 @@
+"""The reproduction scorecard — every paper-vs-measured row, live.
+
+This is the machine-checked version of EXPERIMENTS.md: the bench
+fails if any row regresses to MISMATCH.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.scorecard import build_scorecard, render_scorecard
+
+
+def test_bench_scorecard(benchmark, tables_world, tables_harm, figures_sweep):
+    rows = benchmark.pedantic(
+        build_scorecard,
+        args=(tables_world, tables_harm, figures_sweep),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = render_scorecard(rows)
+    print("\n" + text)
+    save_artifact("scorecard.txt", text)
+
+    assert not [row for row in rows if row.verdict == "MISMATCH"], text
+    assert sum(1 for row in rows if row.verdict == "exact") >= 15
+    assert sum(1 for row in rows if row.verdict == "shape") == 3

@@ -1,0 +1,26 @@
+"""TAB1 — projects using the PSL by usage type.
+
+Paper values: 273 projects; fixed 68 (24.9%) with 43 production / 24
+test / 1 other; updated 35 (12.8%) with 24 build / 8 user / 3 server;
+dependency 170 (62.3%) led by the bundled JRE (113).
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import report, taxonomy
+from repro.data import paper
+
+
+def test_bench_tab1_taxonomy(benchmark, tables_world):
+    corpus = tables_world.corpus
+
+    result = benchmark(taxonomy.table1, corpus)
+
+    text = report.render_table1(result)
+    print("\n" + text)
+    save_artifact("tab1_taxonomy.txt", text)
+
+    assert result.total == paper.REPOSITORY_COUNT
+    for strategy, subtypes in paper.TABLE1.items():
+        assert result.count_of(strategy) == sum(subtypes.values())
+        for subtype, expected in subtypes.items():
+            assert result.count_of(strategy, subtype) == expected

@@ -1,0 +1,41 @@
+"""TAB2 — the largest missing eTLDs and the headline harm estimate.
+
+Paper values, reproduced exactly: 1,313 eTLDs affecting 50,750
+hostnames; the top-15 table from myshopify.com (7,848 hostnames; 44 D /
+23 Prd. / 7 T-O / 13 U) down to sc.gov.br (714; 13 / 2 / 0 / 2).
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import report
+from repro.analysis.harm import harm_analysis
+from repro.data import paper
+
+
+def test_bench_tab2_harm(benchmark, tables_world, tables_sweep):
+    result = benchmark.pedantic(
+        harm_analysis, args=(tables_world, tables_sweep), rounds=1, iterations=1
+    )
+
+    text = report.render_table2(result)
+    print("\n" + text)
+    save_artifact("tab2_harm.txt", text)
+
+    assert result.missing_etld_count == paper.MISSING_ETLD_COUNT
+    assert result.affected_hostname_count == paper.AFFECTED_HOSTNAME_COUNT
+    published = {row.etld: row for row in paper.TABLE2}
+    assert {row.etld for row in result.table2} == set(published)
+    for measured in result.table2:
+        expected = published[measured.etld]
+        assert (
+            measured.hostnames,
+            measured.dependency,
+            measured.fixed_production,
+            measured.fixed_test_other,
+            measured.updated,
+        ) == (
+            expected.hostnames,
+            expected.dependency,
+            expected.fixed_production,
+            expected.fixed_test_other,
+            expected.updated,
+        ), measured.etld

@@ -1,0 +1,88 @@
+"""The paper's proposed way out: DNS-advertised boundaries (DBOUND).
+
+The conclusion argues the staleness harms are "inherent to any
+list-based approach" and points at integrating boundaries into the DNS
+(draft-sullivan-dbound).  This example walks that migration:
+
+1. publish ``_bound`` records equivalent to the current PSL and show
+   record-derived boundaries agree with list-derived ones over a real
+   hostname sample;
+2. replay the *staleness* scenario: a consumer with a three-year-old
+   list vs. a consumer resolving records live — the record consumer has
+   zero drift because there is nothing to vendor;
+3. show the operator-side fix latency: one record publish vs. waiting
+   for every vendored list in the world to update.
+
+Also demonstrates the DMARC use case from Section 2 under both designs.
+
+Run: ``python examples/alternative_boundaries.py``
+"""
+
+import datetime
+
+from repro.data import paper
+from repro.dbound.compare import compare_boundaries
+from repro.dbound.records import Assertion, BoundaryZone
+from repro.dbound.resolver import BoundaryResolver
+from repro.history.synthesis import synthesize_history
+from repro.privacy.dmarc import TxtZone, discover_policy
+
+
+def main() -> None:
+    print("synthesizing history…")
+    store = synthesize_history()
+    current = store.checkout(-1)
+    stale = store.checkout_date(
+        paper.MEASUREMENT_DATE - datetime.timedelta(days=1100)
+    )
+
+    # 1. Migration fidelity over a hostname sample.
+    hosts = [
+        "www.example.com", "maps.google.com", "amazon.co.uk",
+        "alice.github.io", "bob.github.io", "tenant.myshopify.com",
+        "foo.bar.ck", "www.ck", "shop.kyoto.jp", "a.b.cloudfront.net",
+    ]
+    zone = BoundaryZone.from_psl(current)
+    agreement = compare_boundaries(current, hosts, zone=zone)
+    print(f"\n1. migrated zone: {len(zone)} _bound records; "
+          f"agreement with the PSL on {len(hosts)} hosts: {agreement.agreement_rate:.0%}")
+
+    # 2. Staleness: list consumer vs. record consumer.
+    resolver = BoundaryResolver(zone)
+    print("\n2. the staleness harm, side by side "
+          f"(list consumer is {1100} days stale):")
+    for first, second in [
+        ("alice.myshopify.com", "bob.myshopify.com"),
+        ("a.digitaloceanspaces.com", "b.digitaloceanspaces.com"),
+    ]:
+        stale_says = stale.same_site(first, second)
+        records_say = resolver.same_site(first, second)
+        print(f"   {first} vs {second}:")
+        print(f"     stale list : same site = {stale_says}   <- tracking possible")
+        print(f"     _bound DNS : same site = {records_say}")
+
+    # 3. Fix latency: a new operator appears.
+    print("\n3. a brand-new hosting provider, newhost.example, opens "
+          "tenant registrations today:")
+    fresh = BoundaryZone.from_psl(current)
+    print("     before publishing:",
+          BoundaryResolver(fresh).same_site("a.newhost.example", "b.newhost.example"))
+    fresh.publish("newhost.example", Assertion.BOUNDARY)
+    print("     after one record publish:",
+          BoundaryResolver(fresh).same_site("a.newhost.example", "b.newhost.example"),
+          "(every consumer fixed instantly; the PSL route waits on "
+          "43+ vendored copies)")
+
+    # 4. DMARC under both designs.
+    txt = TxtZone()
+    txt.add("_dmarc.myshopify.com", "v=DMARC1; p=none")
+    result = discover_policy(stale, txt, "mail.shop.myshopify.com")
+    print("\n4. DMARC fallback for mail.shop.myshopify.com under the stale list:")
+    print(f"     org domain computed: {result.organizational_domain} "
+          f"(another organization's policy {'APPLIES' if result.found else 'does not apply'})")
+    answer = resolver.resolve("mail.shop.myshopify.com")
+    print(f"     org domain via _bound records: {answer.site}")
+
+
+if __name__ == "__main__":
+    main()

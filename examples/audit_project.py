@@ -1,0 +1,64 @@
+"""Audit a source tree for stale vendored Public Suffix Lists.
+
+Builds a realistic fake project (a vendored three-year-old list under
+``third_party/``, plus a renamed copy the filename search would miss),
+then runs the psl-doctor scanner and prints the diagnosis — the
+workflow the paper implies every one of its 43 flagged projects should
+adopt.
+
+Run: ``python examples/audit_project.py``
+"""
+
+import datetime
+import tempfile
+from pathlib import Path
+
+from repro.data import paper
+from repro.history.synthesis import synthesize_history
+from repro.psl.serialize import serialize_rules
+from repro.psltool.doctor import diagnose
+from repro.psltool.scanner import scan_tree
+from repro.repos.dating import ListDater
+
+
+def build_fake_project(root: Path, store) -> None:
+    """A project vendoring two stale list copies (one renamed)."""
+    old_version = store.version_at_date(
+        paper.MEASUREMENT_DATE - datetime.timedelta(days=1100)
+    )
+    old_text = serialize_rules(store.rules_at(old_version.index))
+
+    (root / "third_party" / "psl").mkdir(parents=True)
+    (root / "third_party" / "psl" / "public_suffix_list.dat").write_text(old_text)
+
+    # A renamed copy: filename search alone would miss this one.
+    (root / "src" / "resources").mkdir(parents=True)
+    (root / "src" / "resources" / "domain_rules.dat").write_text(old_text)
+
+    (root / "src" / "main.py").write_text(
+        "RULES = open('resources/domain_rules.dat').read().splitlines()\n"
+    )
+
+
+def main() -> None:
+    print("synthesizing the 1,142-version history…")
+    store = synthesize_history()
+    dater = ListDater(store)
+
+    with tempfile.TemporaryDirectory(prefix="psl-audit-") as workdir:
+        root = Path(workdir)
+        build_fake_project(root, store)
+
+        print(f"scanning {root} …\n")
+        found = scan_tree(str(root))
+        for item in found:
+            report = diagnose(store, item, dater=dater)
+            print(f"[{item.detection:8s}] {report.summary}")
+            if report.stale_examples:
+                print("           missing, e.g.:", ", ".join(report.stale_examples))
+        print(f"\n{len(found)} embedded list(s) found "
+              f"(1 by filename, {sum(1 for f in found if f.detection == 'content')} by content fingerprint)")
+
+
+if __name__ == "__main__":
+    main()

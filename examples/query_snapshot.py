@@ -1,0 +1,70 @@
+"""Analyze a crawl snapshot with the columnar query layer.
+
+The HTTP-Archive-style workflow: build (or load) a snapshot, flatten
+it into tables, and answer measurement questions declaratively —
+plus the streaming path for datasets that would not fit in memory.
+
+Run: ``python examples/query_snapshot.py``
+"""
+
+from repro.history.synthesis import synthesize_history
+from repro.webgraph.sites import group_sites
+from repro.webgraph.stats import render_statistics, site_size_fit, snapshot_statistics
+from repro.webgraph.stream import count_sites_streaming
+from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
+from repro.webgraph.tables import requests_table, sites_table
+
+
+def main() -> None:
+    print("building a small world…")
+    store = synthesize_history()
+    snapshot = synthesize_snapshot(SnapshotConfig(harm_scale=0.05, bulk_scale=0.1))
+    psl = store.checkout(-1)
+
+    print("\n== dataset description ==")
+    print(render_statistics(snapshot_statistics(snapshot)))
+
+    # -- declarative analysis ------------------------------------------------
+    assignment = group_sites(psl, snapshot.hostnames)
+    sites = sites_table(snapshot, assignment)
+    requests = requests_table(snapshot)
+
+    print("\n== top sites by hostname count (GROUP BY site) ==")
+    top = (
+        sites.group_by("site").count("hostnames")
+        .order_by("hostnames", descending=True)
+        .limit(5)
+    )
+    for row in top.to_dicts():
+        print(f"  {row['site']:35s} {row['hostnames']:>6d} hostnames")
+
+    print("\n== busiest third-party hosts (JOIN + WHERE) ==")
+    classified = (
+        requests
+        .with_column("page_site", lambda r: assignment[r["page_host"]])
+        .with_column("request_site", lambda r: assignment[r["request_host"]])
+        .where(lambda r: r["page_site"] != r["request_site"])
+    )
+    busiest = (
+        classified.group_by("request_host").count()
+        .order_by("count", descending=True)
+        .limit(5)
+    )
+    for row in busiest.to_dicts():
+        print(f"  {row['request_host']:45s} {row['count']:>5d} third-party requests")
+
+    print("\n== site-size distribution ==")
+    fit = site_size_fit(assignment)
+    print(f"  largest site: {fit.sizes.maximum} hostnames; "
+          f"singletons: {fit.singleton_share:.0%}; "
+          f"Zipf exponent: {fit.zipf_exponent and round(fit.zipf_exponent, 2)}")
+
+    # -- the streaming path ----------------------------------------------------
+    print("\n== streaming (constant-memory) cross-check ==")
+    streamed = count_sites_streaming(psl, iter(snapshot.hostnames))
+    print(f"  streamed: {streamed.sites} sites over {streamed.hostnames} hostnames "
+          f"(in-memory grouping agrees: {streamed.sites == len(set(assignment.values()))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: the PSL engine in five minutes.
+
+Parses a small list, asks the questions browsers ask (public suffix,
+registrable domain, same-site), and shows what changes when the list
+gains a rule — the core mechanic behind the paper's harm model.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import PublicSuffixList, Rule, parse_psl
+from repro.psl.diff import diff_rules
+
+LIST_TEXT = """\
+// ===BEGIN ICANN DOMAINS===
+com
+co.uk
+*.ck
+!www.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+// ===END PRIVATE DOMAINS===
+"""
+
+
+def main() -> None:
+    psl = parse_psl(LIST_TEXT)
+    print(f"parsed {len(psl)} rules\n")
+
+    for hostname in (
+        "www.example.com",
+        "maps.google.com",
+        "amazon.co.uk",
+        "alice.github.io",
+        "bob.github.io",
+        "something.www.ck",
+        "unknown.tldxyz",
+    ):
+        match = psl.match(hostname)
+        print(
+            f"{hostname:22s} suffix={match.public_suffix:12s} "
+            f"site={match.site:22s} rule={match.rule.text if match.rule else '* (default)'}"
+        )
+
+    print()
+    print("same site?  maps.google.com vs www.google.com:",
+          psl.same_site("maps.google.com", "www.google.com"))
+    print("same site?  alice.github.io vs bob.github.io:",
+          psl.same_site("alice.github.io", "bob.github.io"))
+
+    # Now pretend the list is older: github.io has not been added yet.
+    outdated = PublicSuffixList(
+        rule for rule in psl.rules if rule.name != "github.io"
+    )
+    print("\nunder an outdated list missing github.io:")
+    print("same site?  alice.github.io vs bob.github.io:",
+          outdated.same_site("alice.github.io", "bob.github.io"),
+          " <- the privacy harm")
+
+    delta = diff_rules(outdated, psl)
+    print(f"\nthe update that fixes it: +{[r.text for r in delta.added]}")
+
+    # Rules can also be built programmatically.
+    custom = PublicSuffixList([Rule.parse("com"), Rule.parse("dev")])
+    print("\ncustom list:", custom.registrable_domain("api.myapp.dev"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build the editable wheel.  This
+shim lets ``python setup.py develop`` provide the same editable install
+offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

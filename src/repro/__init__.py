@@ -1,0 +1,47 @@
+"""Reproduction of "A First Look at the Privacy Harms of the Public Suffix List".
+
+This package reimplements, end to end, the measurement pipeline of the
+IMC 2023 paper by McQuistin, Snyder, Perkins, Haddadi, and Tyson: a full
+Public Suffix List (PSL) engine, a versioned PSL history, a repository
+corpus with usage-type classification, a web-traffic snapshot substrate,
+and the analyses that regenerate every table and figure in the paper.
+
+Subpackages
+-----------
+``repro.psl``
+    The PSL engine: ``.dat`` parsing, rule semantics, suffix matching,
+    IDNA/Punycode, diffing.
+``repro.net``
+    Hostname and URL primitives used across the project.
+``repro.history``
+    Content-addressed version store and the synthetic PSL history.
+``repro.repos``
+    Repository corpus, search, usage classification, and list dating.
+``repro.webgraph``
+    HTTP-Archive-like snapshot model, synthesis, and site grouping.
+``repro.iana``
+    Offline IANA root zone database with TLD categories.
+``repro.analysis``
+    The paper's experiments (Figures 2-7, Tables 1-3).
+``repro.privacy``
+    Cookie-jar / autofill / tracking demonstrators of PSL misuse harms.
+``repro.psltool``
+    ``psl-doctor``: detect and assess outdated vendored PSL copies.
+``repro.dbound``
+    Prototype of DNS-advertised administrative boundaries (DBOUND).
+"""
+
+from repro.psl.list import PublicSuffixList
+from repro.psl.parser import parse_psl
+from repro.psl.rules import Rule, RuleKind, Section
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PublicSuffixList",
+    "parse_psl",
+    "Rule",
+    "RuleKind",
+    "Section",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""The paper's experiments.
+
+One module per published artifact:
+
+========  ============================================  =======================
+Artifact  Quantity                                      Module
+========  ============================================  =======================
+Figure 2  PSL growth and component mix over time        :mod:`.growth`
+Table 1   Projects by usage type                        :mod:`.taxonomy`
+Figure 3  Age of vendored lists per strategy            :mod:`.age`
+Figure 4  List age vs. activity vs. popularity          :mod:`.popularity`
+Figure 5  Sites formed per list version                 :mod:`.boundaries`
+Figure 6  Third-party requests per list version         :mod:`.boundaries`
+Figure 7  Hostnames regrouped vs. the newest list       :mod:`.boundaries`
+Table 2   Largest missing eTLDs with project counts     :mod:`.harm`
+Table 3   Fixed-usage repositories                      :mod:`.harm`
+========  ============================================  =======================
+
+:mod:`.context` builds and caches the shared world (history, corpus,
+snapshot); :mod:`.report` renders results as text; :mod:`.cli` exposes
+everything as the ``psl-repro`` command.
+"""
+
+from repro.analysis.context import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

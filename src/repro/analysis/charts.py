@@ -1,0 +1,113 @@
+"""Terminal charts: the figures as figures.
+
+The paper's artifacts are plots; the benchmark harness prints their
+series as tables, and this module renders the same series as compact
+Unicode charts so the *shape* claims are visible at a glance in any
+terminal:
+
+* :func:`sparkline` — one-line bar-height summary of a series;
+* :func:`line_chart` — a fixed-size dot-matrix plot with axis labels;
+* :func:`render_series` — titled chart + first/last annotations.
+
+Pure text, no dependencies; used by ``psl-repro`` and the benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One character per value, height-coded.
+
+    >>> sparkline([0, 5, 10])
+    '▁▄█'
+    """
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def _resample(values: Sequence[float], width: int) -> list[float]:
+    """Average-pool a series down (or index-stretch it up) to ``width``."""
+    if len(values) <= width:
+        return list(values)
+    pooled = []
+    for column in range(width):
+        start = column * len(values) // width
+        end = max(start + 1, (column + 1) * len(values) // width)
+        window = values[start:end]
+        pooled.append(sum(window) / len(window))
+    return pooled
+
+
+def line_chart(
+    values: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 10,
+    y_label_width: int = 10,
+) -> str:
+    """A dot-matrix plot with a y-axis.
+
+    The series is average-pooled to ``width`` columns; each column gets
+    one mark at its scaled height.  Rows print top-down with min/max
+    labels on the first and last rows.
+    """
+    if not values:
+        return "(empty series)"
+    series = _resample(values, width)
+    low = min(series)
+    high = max(series)
+    span = high - low or 1.0
+    # row index per column, 0 = bottom
+    rows_for = [int((value - low) / span * (height - 1)) for value in series]
+
+    lines: list[str] = []
+    for row in range(height - 1, -1, -1):
+        if row == height - 1:
+            label = f"{high:,.0f}".rjust(y_label_width)
+        elif row == 0:
+            label = f"{low:,.0f}".rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        cells = "".join("•" if rows_for[col] == row else " " for col in range(len(series)))
+        lines.append(f"{label} ┤{cells}")
+    lines.append(" " * y_label_width + " └" + "─" * len(series))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 10,
+) -> str:
+    """A titled chart with endpoint annotations.
+
+    ``labels`` must parallel ``values``; the first and last are shown
+    under the x-axis.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be parallel")
+    chart = line_chart(values, width=width, height=height)
+    footer = ""
+    if labels:
+        left = str(labels[0])
+        right = str(labels[-1])
+        pad = max(1, width - len(left) - len(right))
+        footer = "\n" + " " * 12 + left + " " * pad + right
+    return f"{title}\n{chart}{footer}"

@@ -1,0 +1,139 @@
+"""Shared, cached experiment context.
+
+Synthesizing the world (1,142-version history, 273-repository corpus,
+multi-hundred-thousand-hostname snapshot) takes seconds; every
+experiment needs some subset of it.  :func:`get_context` memoizes fully
+constructed contexts per configuration so benchmarks, examples, and
+the CLI all reuse one world.
+
+Two presets matter:
+
+* :func:`tables_context` — ``harm_scale=1.0``: the populations under
+  the calibrated missing eTLDs are paper-exact, which Tables 2 and 3
+  require.
+* :func:`figures_context` — a larger background web and scaled-down
+  harm populations, restoring the *proportions* of the real dataset
+  (where the 50,750 affected hostnames are a sliver of the whole);
+  the Figure 5-7 curve shapes match the paper under this preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.history.store import VersionStore
+from repro.history.synthesis import SynthesisConfig, synthesize_history
+from repro.repos.classifier import Classification, classify
+from repro.repos.corpus import CorpusConfig, build_corpus
+from repro.repos.dating import DatingResult, ListDater
+from repro.repos.model import Repository
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
+
+DEFAULT_SEED = 20230701
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily constructed shared world for the experiments."""
+
+    seed: int = DEFAULT_SEED
+    snapshot_config: SnapshotConfig = field(default_factory=SnapshotConfig)
+
+    _store: Optional[VersionStore] = field(default=None, repr=False)
+    _corpus: Optional[list[Repository]] = field(default=None, repr=False)
+    _snapshot: Optional[Snapshot] = field(default=None, repr=False)
+    _dater: Optional[ListDater] = field(default=None, repr=False)
+    _classifications: Optional[dict[str, Classification]] = field(default=None, repr=False)
+    _datings: Optional[dict[str, DatingResult | None]] = field(default=None, repr=False)
+
+    @property
+    def store(self) -> VersionStore:
+        """The synthetic 1,142-version history."""
+        if self._store is None:
+            self._store = synthesize_history(SynthesisConfig(seed=self.seed))
+        return self._store
+
+    @property
+    def corpus(self) -> list[Repository]:
+        """The 273-repository corpus."""
+        if self._corpus is None:
+            self._corpus = build_corpus(self.store, CorpusConfig(seed=self.seed))
+        return self._corpus
+
+    @property
+    def snapshot(self) -> Snapshot:
+        """The synthetic crawl snapshot, paired with this history.
+
+        Every rule name the history ever carried is excluded from the
+        generated background domains, so only the intended populations
+        sit under suffix rules.
+        """
+        if self._snapshot is None:
+            rule_names: set[str] = set()
+            for version in self.store:
+                for rule in version.delta.added:
+                    rule_names.add(rule.name)
+            self._snapshot = synthesize_snapshot(
+                self.snapshot_config, forbidden_suffixes=frozenset(rule_names)
+            )
+        return self._snapshot
+
+    @property
+    def dater(self) -> ListDater:
+        """A list dater bound to this context's history."""
+        if self._dater is None:
+            self._dater = ListDater(self.store)
+        return self._dater
+
+    @property
+    def classifications(self) -> dict[str, Classification]:
+        """Repository name -> classifier verdict, for the whole corpus."""
+        if self._classifications is None:
+            results: dict[str, Classification] = {}
+            for repo in self.corpus:
+                verdict = classify(repo)
+                if verdict is not None:
+                    results[repo.name] = verdict
+            self._classifications = results
+        return self._classifications
+
+    @property
+    def datings(self) -> dict[str, "DatingResult | None"]:
+        """Repository name -> dating of its (first) vendored list."""
+        if self._datings is None:
+            results: dict[str, DatingResult | None] = {}
+            for repo in self.corpus:
+                paths = repo.psl_paths()
+                results[repo.name] = (
+                    self.dater.date_text(repo.files[paths[0]]) if paths else None
+                )
+            self._datings = results
+        return self._datings
+
+
+_CACHE: dict[tuple, ExperimentContext] = {}
+
+
+def get_context(
+    seed: int = DEFAULT_SEED, snapshot_config: SnapshotConfig | None = None
+) -> ExperimentContext:
+    """Memoized context for a (seed, snapshot configuration) pair."""
+    config = snapshot_config or SnapshotConfig(seed=seed)
+    key = (seed,) + tuple(
+        getattr(config, name) for name in sorted(SnapshotConfig.__dataclass_fields__)
+    )
+    if key not in _CACHE:
+        _CACHE[key] = ExperimentContext(seed=seed, snapshot_config=config)
+    return _CACHE[key]
+
+
+def tables_context(seed: int = DEFAULT_SEED) -> ExperimentContext:
+    """Preset for Tables 2-3: paper-exact harm populations."""
+    return get_context(seed, SnapshotConfig(seed=seed, harm_scale=1.0, bulk_scale=0.25))
+
+
+def figures_context(seed: int = DEFAULT_SEED) -> ExperimentContext:
+    """Preset for Figures 5-7: real-world-proportioned populations."""
+    return get_context(seed, SnapshotConfig(seed=seed, harm_scale=0.15, bulk_scale=2.0))

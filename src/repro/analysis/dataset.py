@@ -1,0 +1,114 @@
+"""Loading a published release bundle (the consumer side).
+
+:mod:`repro.analysis.release` writes the artifact bundle; this module
+reads it back into typed records and re-verifies the manifest, so a
+downstream user can audit a release without building the world.  The
+tests round-trip export → load and check the numbers survive.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import json
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class RepositoryRecord:
+    """One row of ``repositories.csv``."""
+
+    repository: str
+    stars: int
+    forks: int
+    days_since_commit: int
+    strategy: str
+    subtype: str
+    datable: bool
+    list_age_days: int | None
+    missing_hostnames: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class SuffixRecord:
+    """One row of ``suffix_schedule.csv``."""
+
+    suffix: str
+    section: str
+    addition_date: datetime.date
+    age_days: int
+    hostnames: int
+    in_table2: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ReleaseBundle:
+    """A fully loaded release."""
+
+    repositories: tuple[RepositoryRecord, ...]
+    suffixes: tuple[SuffixRecord, ...]
+    manifest: dict
+
+    def verify(self) -> list[str]:
+        """Cross-check the loaded data against its manifest."""
+        problems: list[str] = []
+        rows = self.manifest.get("rows", {})
+        if rows.get("repositories.csv") != len(self.repositories):
+            problems.append("repositories.csv row count differs from manifest")
+        if rows.get("suffix_schedule.csv") != len(self.suffixes):
+            problems.append("suffix_schedule.csv row count differs from manifest")
+        headline = self.manifest.get("headline", {})
+        if headline.get("missing_etlds") != len(self.suffixes):
+            problems.append("suffix count differs from manifest headline")
+        total = sum(record.hostnames for record in self.suffixes)
+        if headline.get("affected_hostnames") != total:
+            problems.append("hostname total differs from manifest headline")
+        return problems
+
+
+def _optional_int(value: str) -> int | None:
+    return int(value) if value != "" else None
+
+
+def load_release(directory: str) -> ReleaseBundle:
+    """Load a bundle written by :func:`repro.analysis.release.export_release`."""
+    with open(os.path.join(directory, "MANIFEST.json"), encoding="utf-8") as handle:
+        manifest = json.load(handle)
+
+    repositories: list[RepositoryRecord] = []
+    with open(os.path.join(directory, "repositories.csv"), newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            repositories.append(
+                RepositoryRecord(
+                    repository=row["repository"],
+                    stars=int(row["stars"]),
+                    forks=int(row["forks"]),
+                    days_since_commit=int(row["days_since_commit"]),
+                    strategy=row["strategy"],
+                    subtype=row["subtype"],
+                    datable=row["datable"] == "1",
+                    list_age_days=_optional_int(row["list_age_days"]),
+                    missing_hostnames=_optional_int(row["missing_hostnames"]),
+                )
+            )
+
+    suffixes: list[SuffixRecord] = []
+    with open(os.path.join(directory, "suffix_schedule.csv"), newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            suffixes.append(
+                SuffixRecord(
+                    suffix=row["suffix"],
+                    section=row["section"],
+                    addition_date=datetime.date.fromisoformat(row["addition_date"]),
+                    age_days=int(row["age_days"]),
+                    hostnames=int(row["hostnames"]),
+                    in_table2=row["in_table2"] == "1",
+                )
+            )
+
+    return ReleaseBundle(
+        repositories=tuple(repositories),
+        suffixes=tuple(suffixes),
+        manifest=manifest,
+    )

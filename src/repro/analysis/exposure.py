@@ -1,0 +1,97 @@
+"""Application-level exposure: autofill and cookie pair counts.
+
+Table 3 counts the *hostnames* a stale list misgroups; what a user
+experiences is pairwise: a password manager offers credentials saved
+on one tenant when visiting another, a cookie set by one tenant is
+readable by another.  For a suffix with *n* misgrouped hostnames the
+stale list wrongly merges them into one site, creating ``n·(n−1)``
+ordered cross-organization (credential-origin, visited-host) pairs.
+
+This module turns the calibrated populations into those pair counts
+per repository — the "how bad is bitwarden's 1,596-day list, in
+autofill terms" number — using the closed form rather than enumerating
+pairs (the counts are quadratic and run into the hundreds of millions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.harm import suffix_populations
+from repro.repos.dating import extract_rule_lines
+
+
+@dataclass(frozen=True, slots=True)
+class ExposureReport:
+    """Pairwise exposure for one repository's vendored list."""
+
+    repository: str
+    merged_suffixes: int
+    misgrouped_hostnames: int
+    autofill_pairs: int  # ordered (credential origin, visited host) pairs
+
+    @property
+    def cookie_pairs(self) -> int:
+        """Unordered state-sharing pairs (cookies flow both ways)."""
+        return self.autofill_pairs // 2
+
+
+def exposure_for_text(
+    repository: str, list_text: str, populations: dict[str, int]
+) -> ExposureReport:
+    """Exposure of one vendored list against measured populations.
+
+    A suffix contributes when the list lacks its rule: all ``n``
+    hostnames under it share one site, plus the operator apex — the
+    pair count uses the tenant population only, the conservative
+    figure (apex pages are the operator's own).
+    """
+    vendored = set(extract_rule_lines(list_text))
+    merged = 0
+    hostnames = 0
+    pairs = 0
+    for suffix, population in populations.items():
+        if suffix in vendored:
+            continue
+        merged += 1
+        hostnames += population
+        pairs += population * (population - 1)
+    return ExposureReport(
+        repository=repository,
+        merged_suffixes=merged,
+        misgrouped_hostnames=hostnames,
+        autofill_pairs=pairs,
+    )
+
+
+def corpus_exposure(
+    context: ExperimentContext, *, subtype: str = "production"
+) -> list[ExposureReport]:
+    """Exposure reports for every fixed repository of one sub-type,
+    sorted worst first."""
+    populations = suffix_populations(context)
+    reports: list[ExposureReport] = []
+    for repo in context.corpus:
+        verdict = context.classifications.get(repo.name)
+        if verdict is None or verdict.label.subtype != subtype:
+            continue
+        if verdict.label.strategy.value != "fixed":
+            continue
+        paths = repo.psl_paths()
+        reports.append(
+            exposure_for_text(repo.name, repo.files[paths[0]], populations)
+        )
+    reports.sort(key=lambda report: -report.autofill_pairs)
+    return reports
+
+
+def render_exposure(reports: list[ExposureReport], *, limit: int = 10) -> str:
+    """The worst offenders as a small table."""
+    lines = ["repository                      merged eTLDs   hostnames   autofill pairs"]
+    for report in reports[:limit]:
+        lines.append(
+            f"{report.repository:30s} {report.merged_suffixes:>12,d} "
+            f"{report.misgrouped_hostnames:>11,d} {report.autofill_pairs:>16,d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Figure 2: growth of the Public Suffix List over time.
+
+The paper plots the list's total size and its breakdown by number of
+suffix components across all 1,142 versions, and calls out the
+creation size (2,447), the 2017 size (8,062), the final size (9,368),
+the component mix, and the mid-2012 Japanese registration spike.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.history.store import VersionStore
+from repro.history.timeline import GrowthPoint, growth_series, spike_versions
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthSummary:
+    """The headline quantities of Figure 2."""
+
+    first_date: datetime.date
+    last_date: datetime.date
+    version_count: int
+    first_rule_count: int
+    final_rule_count: int
+    rule_count_2017: int
+    final_component_share: tuple[float, ...]
+    largest_spike: tuple[datetime.date, int] | None
+
+
+def yearly_points(series: list[GrowthPoint]) -> list[GrowthPoint]:
+    """The last point of each calendar year — the plot's x-axis ticks."""
+    picked: dict[int, GrowthPoint] = {}
+    for point in series:
+        picked[point.date.year] = point
+    return [picked[year] for year in sorted(picked)]
+
+
+def summarize(store: VersionStore) -> GrowthSummary:
+    """Compute the Figure 2 summary for one history."""
+    series = growth_series(store)
+    first = series[0]
+    last = series[-1]
+    at_2017 = first
+    for point in series:
+        if point.date >= datetime.date(2017, 1, 1):
+            break
+        at_2017 = point
+    spikes = spike_versions(store, threshold=200)
+    # Ignore the initial import, which is trivially the largest delta.
+    real_spikes = [spike for spike in spikes if spike[0] != first.date]
+    largest = max(real_spikes, key=lambda spike: spike[1]) if real_spikes else None
+    return GrowthSummary(
+        first_date=first.date,
+        last_date=last.date,
+        version_count=len(series),
+        first_rule_count=first.total,
+        final_rule_count=last.total,
+        rule_count_2017=at_2017.total,
+        final_component_share=last.component_share,
+        largest_spike=largest,
+    )
+
+
+def figure2_series(store: VersionStore) -> list[GrowthPoint]:
+    """The full per-version series behind Figure 2."""
+    return growth_series(store)

@@ -1,0 +1,179 @@
+"""Tables 2 and 3 and the headline harm estimate.
+
+The paper's estimation (Section 5): combine the repository corpus with
+the web snapshot by checking, for every suffix rule in the newest
+list, which projects' vendored lists lack it and how many snapshot
+hostnames sit under it.
+
+* **Table 2** — the 15 largest such eTLDs (by impacted hostnames) that
+  at least one fixed/production project is missing, with per-taxonomy
+  project counts;
+* **headline** — the total count of such eTLDs (1,313) and hostnames
+  (50,750);
+* **Table 3** — per fixed-usage repository: list age and the number of
+  hostnames its vendored version assigns to a different site than the
+  newest list does (read off the version sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.boundaries import SweepResult
+from repro.analysis.context import ExperimentContext
+from repro.data import paper
+from repro.psl.rules import RuleKind
+from repro.psl.trie import SuffixTrie
+from repro.repos.dating import extract_rule_lines
+from repro.repos.model import Strategy
+
+
+@dataclass(frozen=True, slots=True)
+class Table2MeasuredRow:
+    """One measured Table 2 row."""
+
+    etld: str
+    hostnames: int
+    dependency: int
+    fixed_production: int
+    fixed_test_other: int
+    updated: int
+
+
+@dataclass(frozen=True, slots=True)
+class Table3MeasuredRow:
+    """One measured Table 3 row."""
+
+    name: str
+    subtype: str
+    stars: int
+    forks: int
+    age_days: int
+    missing_hostnames: int
+
+
+@dataclass(frozen=True, slots=True)
+class HarmResult:
+    """Everything Section 5 reports."""
+
+    missing_etld_count: int
+    affected_hostname_count: int
+    table2: tuple[Table2MeasuredRow, ...]
+    table3: tuple[Table3MeasuredRow, ...]
+
+
+def suffix_populations(context: ExperimentContext) -> dict[str, int]:
+    """Snapshot hostnames per public suffix, under the newest list.
+
+    A suffix's population counts the hostnames *registered under* it
+    (the suffix hostname itself is excluded: it is not misgrouped by
+    the suffix's absence, as its site string is unchanged).
+    """
+    trie = SuffixTrie(context.store.rules_at(-1))
+    populations: dict[str, int] = {}
+    for host in context.snapshot.hostnames:
+        labels = tuple(host.split("."))
+        rule = trie.prevailing(tuple(reversed(labels)))
+        if rule is None:
+            length = 1
+        elif rule.kind is RuleKind.EXCEPTION:
+            length = rule.component_count - 1
+        else:
+            length = rule.component_count
+        suffix = ".".join(labels[len(labels) - length :])
+        if host != suffix:
+            populations[suffix] = populations.get(suffix, 0) + 1
+    return populations
+
+
+def _taxonomy_buckets(context: ExperimentContext) -> dict[str, str]:
+    """Repository name -> Table 2 column key."""
+    buckets: dict[str, str] = {}
+    for name, verdict in context.classifications.items():
+        label = verdict.label
+        if label.strategy is Strategy.DEPENDENCY:
+            buckets[name] = "dependency"
+        elif label.strategy is Strategy.UPDATED:
+            buckets[name] = "updated"
+        elif label.subtype == "production":
+            buckets[name] = "fixed_production"
+        else:
+            buckets[name] = "fixed_test_other"
+    return buckets
+
+
+def harm_analysis(context: ExperimentContext, sweep: SweepResult) -> HarmResult:
+    """Regenerate Table 2, Table 3, and the headline estimate."""
+    populations = suffix_populations(context)
+    candidates = sorted(populations)
+    candidate_set = set(candidates)
+    buckets = _taxonomy_buckets(context)
+
+    # Which candidate suffixes is each repository missing?
+    missing_by_suffix: dict[str, dict[str, int]] = {
+        suffix: {"dependency": 0, "fixed_production": 0, "fixed_test_other": 0, "updated": 0}
+        for suffix in candidates
+    }
+    for repo in context.corpus:
+        bucket = buckets.get(repo.name)
+        if bucket is None:
+            continue
+        paths = repo.psl_paths()
+        if not paths:
+            continue
+        present = candidate_set & set(extract_rule_lines(repo.files[paths[0]]))
+        for suffix in candidate_set - present:
+            missing_by_suffix[suffix][bucket] += 1
+
+    # Headline: suffixes missing from at least one fixed/production
+    # project, and the hostnames under them.
+    harmful = [
+        suffix
+        for suffix in candidates
+        if missing_by_suffix[suffix]["fixed_production"] > 0
+    ]
+    affected = sum(populations[suffix] for suffix in harmful)
+
+    # Table 2: top 15 harmful suffixes by impacted hostnames.
+    top = sorted(harmful, key=lambda suffix: (-populations[suffix], suffix))[:15]
+    table2 = tuple(
+        Table2MeasuredRow(
+            etld=suffix,
+            hostnames=populations[suffix],
+            dependency=missing_by_suffix[suffix]["dependency"],
+            fixed_production=missing_by_suffix[suffix]["fixed_production"],
+            fixed_test_other=missing_by_suffix[suffix]["fixed_test_other"],
+            updated=missing_by_suffix[suffix]["updated"],
+        )
+        for suffix in top
+    )
+
+    # Table 3: the datable fixed repositories with their measured
+    # missing-hostname counts (site assignment at their version vs. the
+    # newest version, straight off the sweep).
+    table3: list[Table3MeasuredRow] = []
+    for repo in context.corpus:
+        verdict = context.classifications.get(repo.name)
+        dating = context.datings.get(repo.name)
+        if verdict is None or dating is None or not dating.is_exact:
+            continue
+        if verdict.label.strategy is not Strategy.FIXED:
+            continue
+        table3.append(
+            Table3MeasuredRow(
+                name=repo.name,
+                subtype=verdict.label.subtype,
+                stars=repo.stars,
+                forks=repo.forks,
+                age_days=dating.age_at(paper.MEASUREMENT_DATE),
+                missing_hostnames=sweep.points[dating.version_index].diff_vs_latest,
+            )
+        )
+    table3.sort(key=lambda row: (row.subtype, -row.stars, row.name))
+
+    return HarmResult(
+        missing_etld_count=len(harmful),
+        affected_hostname_count=affected,
+        table2=table2,
+        table3=tuple(table3),
+    )

@@ -1,0 +1,99 @@
+"""The notification campaign (paper Section 3).
+
+"We sought to notify the maintainers of those projects of our
+findings" — this module assembles that campaign end to end: pick the
+affected projects from the measured harm results, compute each one's
+concrete exposure (list age, missing eTLDs with live traffic, affected
+hostnames), render the per-project notification, and summarize the
+campaign the way a real disclosure write-up would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.boundaries import SweepResult
+from repro.analysis.context import ExperimentContext
+from repro.data import paper
+from repro.repos.dating import extract_rule_lines
+from repro.repos.model import Strategy
+from repro.repos.notify import Notification, build_notification
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignSummary:
+    """Aggregate view of one notification campaign."""
+
+    notifications: tuple[Notification, ...]
+    by_severity: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return len(self.notifications)
+
+
+def _exposure(context: ExperimentContext, repo_name: str, suffix_populations: dict[str, int]) -> tuple[int, int]:
+    """(missing eTLDs with traffic, affected hostnames) for one repo."""
+    repo = next(r for r in context.corpus if r.name == repo_name)
+    vendored = set(extract_rule_lines(repo.files[repo.psl_paths()[0]]))
+    missing = [
+        suffix for suffix in suffix_populations if suffix not in vendored
+    ]
+    return len(missing), sum(suffix_populations[suffix] for suffix in missing)
+
+
+def run_campaign(
+    context: ExperimentContext,
+    sweep: SweepResult,
+    *,
+    include_test_usage: bool = False,
+) -> CampaignSummary:
+    """Build notifications for every harmfully-classified project.
+
+    By default this targets the paper's 43 fixed/production projects;
+    ``include_test_usage`` widens it to the full fixed set.
+    """
+    from repro.analysis.harm import suffix_populations
+
+    populations = suffix_populations(context)
+    notifications: list[Notification] = []
+    severity_counts: dict[str, int] = {}
+
+    for repo in context.corpus:
+        verdict = context.classifications.get(repo.name)
+        if verdict is None or verdict.label.strategy is not Strategy.FIXED:
+            continue
+        if verdict.label.subtype != "production" and not include_test_usage:
+            continue
+        dating = context.datings.get(repo.name)
+        missing_etlds, missing_hostnames = _exposure(context, repo.name, populations)
+        note = build_notification(
+            repo,
+            verdict,
+            dating if dating is not None and dating.is_exact else None,
+            missing_etlds=missing_etlds,
+            missing_hostnames=missing_hostnames,
+        )
+        notifications.append(note)
+        severity_counts[note.severity] = severity_counts.get(note.severity, 0) + 1
+
+    notifications.sort(key=lambda note: (note.severity != "high", note.repository))
+    return CampaignSummary(
+        notifications=tuple(notifications), by_severity=severity_counts
+    )
+
+
+def render_campaign(summary: CampaignSummary, *, preview: int = 3) -> str:
+    """Human summary plus the first few notification bodies."""
+    lines = [
+        f"Notification campaign: {summary.total} projects "
+        f"(paper: {paper.HARMFUL_PROJECT_COUNT} fixed/production projects)",
+        "By severity: "
+        + ", ".join(f"{count} {severity}" for severity, count in sorted(summary.by_severity.items())),
+        "",
+    ]
+    for note in summary.notifications[:preview]:
+        lines.append(f"--- {note.repository} [{note.severity}] {note.title}")
+        lines.append(note.body)
+        lines.append("")
+    return "\n".join(lines)

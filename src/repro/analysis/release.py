@@ -1,0 +1,130 @@
+"""Artifact release: the datasets the paper published.
+
+Section 3: "We make available our code for gathering, processing, and
+analyzing the data discussed in this paper.  This, and our full
+labelled dataset of repositories …".  This module writes the same
+release bundle from the measured pipeline:
+
+* ``repositories.csv`` — the labelled repository dataset (name, stars,
+  forks, strategy, subtype, datability, list age, missing hostnames);
+* ``suffix_schedule.csv`` — every harmful eTLD with its addition date
+  and snapshot population;
+* ``sweep.csv`` — the full per-version Figures 5-7 series;
+* ``MANIFEST.json`` — row counts, world seed, and the headline numbers
+  for integrity checking.
+
+Plain ``csv``/``json`` stdlib output — the release must be readable
+without this library installed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+from repro.analysis.boundaries import SweepResult
+from repro.analysis.context import ExperimentContext
+from repro.analysis.harm import HarmResult
+from repro.calibrate.suffixes import full_schedule
+from repro.data import paper
+
+
+def export_repositories(context: ExperimentContext, harm: HarmResult, path: str) -> int:
+    """Write the labelled repository dataset; returns the row count."""
+    missing_by_name = {row.name: row.missing_hostnames for row in harm.table3}
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["repository", "stars", "forks", "days_since_commit",
+             "strategy", "subtype", "datable", "list_age_days", "missing_hostnames"]
+        )
+        count = 0
+        for repo in context.corpus:
+            verdict = context.classifications.get(repo.name)
+            if verdict is None:
+                continue
+            dating = context.datings.get(repo.name)
+            datable = dating is not None and dating.is_exact
+            writer.writerow(
+                [
+                    repo.name,
+                    repo.stars,
+                    repo.forks,
+                    repo.days_since_commit,
+                    verdict.label.strategy.value,
+                    verdict.label.subtype,
+                    int(datable),
+                    dating.age_at() if datable else "",
+                    missing_by_name.get(repo.name, ""),
+                ]
+            )
+            count += 1
+    return count
+
+
+def export_suffix_schedule(context: ExperimentContext, path: str) -> int:
+    """Write the harmful-eTLD schedule; returns the row count."""
+    schedule = full_schedule(context.seed)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["suffix", "section", "addition_date", "age_days", "hostnames", "in_table2"]
+        )
+        for record in schedule:
+            writer.writerow(
+                [
+                    record.suffix,
+                    record.section.value,
+                    record.addition_date.isoformat(),
+                    record.age_days,
+                    record.hostnames,
+                    int(record.from_table2),
+                ]
+            )
+    return len(schedule)
+
+
+def export_sweep(sweep: SweepResult, path: str) -> int:
+    """Write the per-version boundary series; returns the row count."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["version", "date", "sites", "third_party_requests", "hostnames_diff_vs_latest"]
+        )
+        for point in sweep.points:
+            writer.writerow(
+                [point.index, point.date.isoformat(), point.site_count,
+                 point.third_party_requests, point.diff_vs_latest]
+            )
+    return len(sweep.points)
+
+
+def export_release(
+    context: ExperimentContext, sweep: SweepResult, harm: HarmResult, directory: str
+) -> dict[str, int]:
+    """Write the full bundle; returns per-file row counts."""
+    os.makedirs(directory, exist_ok=True)
+    counts = {
+        "repositories.csv": export_repositories(
+            context, harm, os.path.join(directory, "repositories.csv")
+        ),
+        "suffix_schedule.csv": export_suffix_schedule(
+            context, os.path.join(directory, "suffix_schedule.csv")
+        ),
+        "sweep.csv": export_sweep(sweep, os.path.join(directory, "sweep.csv")),
+    }
+    manifest = {
+        "paper": "A First Look at the Privacy Harms of the Public Suffix List (IMC 2023)",
+        "world_seed": context.seed,
+        "rows": counts,
+        "headline": {
+            "missing_etlds": harm.missing_etld_count,
+            "affected_hostnames": harm.affected_hostname_count,
+            "paper_missing_etlds": paper.MISSING_ETLD_COUNT,
+            "paper_affected_hostnames": paper.AFFECTED_HOSTNAME_COUNT,
+        },
+    }
+    with open(os.path.join(directory, "MANIFEST.json"), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+    return counts

@@ -1,0 +1,175 @@
+"""Text renderers for every table and figure.
+
+Each renderer takes a measured result and returns the same rows/series
+the paper prints, as monospace text — the benchmark harness and the
+``psl-repro`` CLI both route through these, so "regenerate Table 2"
+means literally printing the table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.age import AgeDistributions
+from repro.analysis.boundaries import SweepResult
+from repro.analysis.growth import GrowthSummary, yearly_points
+from repro.analysis.harm import HarmResult
+from repro.analysis.popularity import PopularityResult
+from repro.analysis.taxonomy import TaxonomyResult
+from repro.history.timeline import GrowthPoint
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal fixed-width table renderer."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    def render_row(row: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[column]) for column, value in enumerate(row)).rstrip()
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_figure2(summary: GrowthSummary, series: list[GrowthPoint]) -> str:
+    """Figure 2 as a yearly series plus its headline numbers."""
+    rows = [
+        (
+            point.date.isoformat(),
+            point.total,
+            point.by_components[0],
+            point.by_components[1],
+            point.by_components[2],
+            point.by_components[3],
+        )
+        for point in yearly_points(series)
+    ]
+    header = (
+        f"Figure 2 — PSL growth: {summary.first_rule_count} rules "
+        f"({summary.first_date}) -> {summary.final_rule_count} ({summary.last_date}), "
+        f"{summary.version_count} versions\n"
+        f"Final component mix: "
+        + ", ".join(
+            f"{share:.1%} {label}"
+            for share, label in zip(summary.final_component_share, ("1-part", "2-part", "3-part", "4+-part"))
+        )
+        + (
+            f"\nLargest spike: +{summary.largest_spike[1]} rules on {summary.largest_spike[0]}"
+            if summary.largest_spike
+            else ""
+        )
+    )
+    return header + "\n\n" + _table(("date", "total", "1", "2", "3", "4+"), rows)
+
+
+def render_table1(result: TaxonomyResult) -> str:
+    """Table 1 in the paper's layout."""
+    rows = []
+    for row in result.rows:
+        label = row.strategy.capitalize() if row.subtype is None else f"  {row.subtype}"
+        rows.append((label, row.count, f"{row.share:.1%}"))
+    return (
+        f"Table 1 — {result.total} projects using the Public Suffix List\n\n"
+        + _table(("Category", "Projects", "Share"), rows)
+    )
+
+
+def render_figure3(distributions: AgeDistributions) -> str:
+    """Figure 3's medians and per-strategy datable counts."""
+    rows = [
+        (strategy, len(ages), f"{distributions.median(strategy):.0f}")
+        for strategy, ages in sorted(distributions.by_strategy.items())
+        if ages
+    ]
+    rows.append(("all", len(distributions.all_ages), f"{distributions.median():.0f}"))
+    return "Figure 3 — age of vendored lists (days at t=2022-12-08)\n\n" + _table(
+        ("strategy", "datable repos", "median age"), rows
+    )
+
+
+def render_figure4(result: PopularityResult, limit: int = 12) -> str:
+    """Figure 4's scatter (top markers) and supporting stats."""
+    rows = [
+        (point.repository, point.subtype, point.list_age_days, point.days_since_commit, point.stars)
+        for point in result.points[:limit]
+    ]
+    header = (
+        "Figure 4 — fixed projects: list age vs. activity vs. popularity\n"
+        f"stars/forks Pearson = {result.stars_forks_pearson:.2f}; "
+        f"production median stars = {result.production_star_median:.0f}; "
+        f"production repos with 500+ stars = {result.production_500_plus}"
+    )
+    return header + "\n\n" + _table(
+        ("repository", "type", "list age", "days since commit", "stars"), rows
+    )
+
+
+def _render_sweep(result: SweepResult, value: str, title: str) -> str:
+    from repro.analysis.charts import render_series
+
+    rows = [
+        (point.date.isoformat(), getattr(point, value))
+        for point in result.yearly()
+    ]
+    chart = render_series(
+        "",
+        [point.date.isoformat() for point in result.points],
+        [getattr(point, value) for point in result.points],
+    )
+    return title + "\n" + chart + "\n\n" + _table(("date", value), rows)
+
+
+def render_figure5(result: SweepResult) -> str:
+    """Figure 5: sites formed per list version."""
+    title = (
+        f"Figure 5 — sites formed from {result.total_hostnames} hostnames\n"
+        f"latest vs. first: +{result.additional_sites_latest_vs_first} sites"
+    )
+    return _render_sweep(result, "site_count", title)
+
+
+def render_figure6(result: SweepResult) -> str:
+    """Figure 6: third-party requests per list version."""
+    title = f"Figure 6 — third-party requests (of {result.total_requests} total)"
+    return _render_sweep(result, "third_party_requests", title)
+
+
+def render_figure7(result: SweepResult) -> str:
+    """Figure 7: hostnames grouped differently than under the newest list."""
+    return _render_sweep(
+        result, "diff_vs_latest", "Figure 7 — hostnames in different sites vs. newest list"
+    )
+
+
+def render_table2(result: HarmResult) -> str:
+    """Table 2 plus the headline estimate."""
+    rows = [
+        (
+            f"{row.etld} ({row.hostnames})",
+            row.dependency,
+            row.fixed_production,
+            row.fixed_test_other,
+            row.updated,
+        )
+        for row in result.table2
+    ]
+    header = (
+        "Table 2 — largest eTLDs missing from fixed/production projects\n"
+        f"Total: {result.missing_etld_count} eTLDs affecting "
+        f"{result.affected_hostname_count} hostnames"
+    )
+    return header + "\n\n" + _table(("eTLD (hostnames)", "D", "Prd.", "T/O", "U"), rows)
+
+
+def render_table3(result: HarmResult, limit: int | None = None) -> str:
+    """Table 3: fixed-usage repositories."""
+    rows = [
+        (row.name, row.subtype, row.stars, row.forks, row.age_days, row.missing_hostnames)
+        for row in (result.table3 if limit is None else result.table3[:limit])
+    ]
+    return "Table 3 — projects with fixed usage of the list\n\n" + _table(
+        ("repository", "type", "stars", "forks", "list age (days)", "# missing hostnames"),
+        rows,
+    )

@@ -1,0 +1,83 @@
+"""Table 1: open-source projects by usage type.
+
+Runs the discovery search (filename match over the corpus), classifies
+every hit, and tabulates the counts — the mechanized version of the
+paper's manual examination of 273 repositories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.repos.classifier import classify
+from repro.repos.model import PSL_FILENAME, Repository, Strategy
+from repro.repos.search import SearchIndex
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyRow:
+    """One Table 1 line: a strategy or sub-type with its project count."""
+
+    strategy: str
+    subtype: str | None
+    count: int
+    share: float  # of all repositories using the list
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyResult:
+    """The measured Table 1."""
+
+    total: int
+    rows: tuple[TaxonomyRow, ...]
+
+    def count_of(self, strategy: str, subtype: str | None = None) -> int:
+        """Look one cell up (0 when absent)."""
+        for row in self.rows:
+            if row.strategy == strategy and row.subtype == subtype:
+                return row.count
+        return 0
+
+
+def classify_corpus(repos: Iterable[Repository]) -> dict[str, tuple[Strategy, str]]:
+    """Repository name -> (strategy, subtype) over discovered repos."""
+    index = SearchIndex(repos)
+    discovered = index.repositories_with_file(PSL_FILENAME)
+    labels: dict[str, tuple[Strategy, str]] = {}
+    for repo in discovered:
+        verdict = classify(repo)
+        if verdict is not None:
+            labels[repo.name] = (verdict.label.strategy, verdict.label.subtype)
+    return labels
+
+
+def table1(repos: Iterable[Repository]) -> TaxonomyResult:
+    """Regenerate Table 1 from a corpus."""
+    labels = classify_corpus(repos)
+    total = len(labels)
+    by_strategy: dict[Strategy, int] = {}
+    by_subtype: dict[tuple[Strategy, str], int] = {}
+    for strategy, subtype in labels.values():
+        by_strategy[strategy] = by_strategy.get(strategy, 0) + 1
+        by_subtype[(strategy, subtype)] = by_subtype.get((strategy, subtype), 0) + 1
+
+    rows: list[TaxonomyRow] = []
+    for strategy in (Strategy.FIXED, Strategy.UPDATED, Strategy.DEPENDENCY):
+        count = by_strategy.get(strategy, 0)
+        rows.append(
+            TaxonomyRow(strategy.value, None, count, count / total if total else 0.0)
+        )
+        for (candidate, subtype), sub_count in sorted(
+            by_subtype.items(), key=lambda item: (-item[1], item[0][1])
+        ):
+            if candidate is strategy:
+                rows.append(
+                    TaxonomyRow(
+                        strategy.value,
+                        subtype,
+                        sub_count,
+                        sub_count / total if total else 0.0,
+                    )
+                )
+    return TaxonomyResult(total=total, rows=tuple(rows))

@@ -1,0 +1,109 @@
+"""Update-failure staleness model (extension of paper Section 4).
+
+The paper ranks the *updated* sub-strategies by risk: build-time
+updaters keep whatever the last release shipped, user applications
+refresh on every restart, server daemons "rarely obtain updated
+versions".  This module turns that qualitative ranking into a
+quantitative model: given per-strategy refresh cadences and a fetch
+failure probability, simulate each project's effective list age over a
+horizon and compare against the fixed strategy's certain staleness.
+
+Deterministic (seeded), so the accompanying ablation bench and the
+tests can assert the ordering the paper asserts.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyModel:
+    """Refresh behaviour for one integration strategy."""
+
+    name: str
+    refresh_interval_days: int | None  # None: never refreshes (fixed)
+    fallback_age_days: int  # age of the bundled copy at day 0
+
+
+DEFAULT_MODELS: tuple[StrategyModel, ...] = (
+    # Bundled-copy ages default to the paper's medians per strategy.
+    StrategyModel("fixed", None, 825),
+    StrategyModel("updated/build", 180, 915),   # refreshed per release
+    StrategyModel("updated/user", 3, 915),      # refreshed on restart
+    StrategyModel("updated/server", 365, 915),  # rarely restarted
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StalenessOutcome:
+    """Simulated effective list age for one strategy."""
+
+    strategy: str
+    mean_age_days: float
+    p95_age_days: float
+    worst_age_days: int
+    refreshes_attempted: int
+    refreshes_failed: int
+
+
+def simulate_strategy(
+    model: StrategyModel,
+    *,
+    horizon_days: int = 730,
+    failure_probability: float = 0.1,
+    seed: int = 7,
+) -> StalenessOutcome:
+    """Walk the horizon day by day, refreshing on the model's cadence.
+
+    A successful refresh resets the effective age to zero; a failed one
+    silently keeps the previous copy — the paper's "attempting to
+    automatically update the list but failing and continuing to
+    function without an error".
+    """
+    # String seeding is deterministic across processes (unlike str hash).
+    rng = random.Random(f"{seed}:{model.name}")
+    age = model.fallback_age_days
+    ages: list[int] = []
+    attempted = failed = 0
+    for day in range(horizon_days):
+        if model.refresh_interval_days is not None and day % model.refresh_interval_days == 0:
+            attempted += 1
+            if rng.random() < failure_probability:
+                failed += 1
+            else:
+                age = 0
+        ages.append(age)
+        age += 1
+    ages_sorted = sorted(ages)
+    return StalenessOutcome(
+        strategy=model.name,
+        mean_age_days=statistics.fmean(ages),
+        p95_age_days=float(ages_sorted[int(len(ages_sorted) * 0.95)]),
+        worst_age_days=max(ages),
+        refreshes_attempted=attempted,
+        refreshes_failed=failed,
+    )
+
+
+def compare_strategies(
+    models: tuple[StrategyModel, ...] = DEFAULT_MODELS,
+    *,
+    horizon_days: int = 730,
+    failure_probability: float = 0.1,
+    seed: int = 7,
+) -> list[StalenessOutcome]:
+    """Simulate every strategy; sorted best (freshest) first."""
+    outcomes = [
+        simulate_strategy(
+            model,
+            horizon_days=horizon_days,
+            failure_probability=failure_probability,
+            seed=seed,
+        )
+        for model in models
+    ]
+    outcomes.sort(key=lambda outcome: outcome.mean_age_days)
+    return outcomes

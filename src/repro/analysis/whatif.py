@@ -1,0 +1,83 @@
+"""Counterfactual remediation analysis (extension).
+
+The paper quantifies the harm of the status quo; this module answers
+the natural follow-up: *how much of it goes away under a given
+remediation policy?*  Policies are expressed as a maximum allowed list
+age; a project complying with the policy vendors a list no older than
+that, so the hostnames still misclassified are exactly those under
+suffixes younger than the cap — read straight off the version sweep.
+
+Used by tests and the ``ext-updates`` story: the marginal return of
+refreshing monthly vs. yearly vs. never is the curve the paper's
+recommendations implicitly argue about.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.analysis.boundaries import SweepResult
+from repro.data import paper
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyOutcome:
+    """Residual harm under one maximum-age policy."""
+
+    max_age_days: int
+    residual_misclassified_hostnames: int
+    removed_misclassified_hostnames: int
+
+    @property
+    def removal_fraction(self) -> float:
+        total = self.residual_misclassified_hostnames + self.removed_misclassified_hostnames
+        if total == 0:
+            return 1.0
+        return self.removed_misclassified_hostnames / total
+
+
+def residual_harm(sweep: SweepResult, max_age_days: int) -> int:
+    """Misclassified hostnames for a list exactly ``max_age_days`` old.
+
+    The policy's worst-compliant project vendors the newest version at
+    or before (t − max_age_days); its misclassification count is the
+    sweep's diff-vs-latest at that version.
+    """
+    cutoff = paper.MEASUREMENT_DATE - datetime.timedelta(days=max_age_days)
+    return sweep.at_date(cutoff).diff_vs_latest
+
+
+def policy_curve(
+    sweep: SweepResult,
+    *,
+    max_ages: tuple[int, ...] = (30, 90, 180, 365, 730, 1095, 1460, 2070),
+) -> list[PolicyOutcome]:
+    """Residual harm across a ladder of refresh policies.
+
+    The baseline is the status quo: every project keeps its current
+    list (the oldest studied production list, 2,070 days).
+    """
+    baseline = residual_harm(sweep, max(max_ages))
+    outcomes = []
+    for max_age in sorted(max_ages):
+        residual = residual_harm(sweep, max_age)
+        outcomes.append(
+            PolicyOutcome(
+                max_age_days=max_age,
+                residual_misclassified_hostnames=residual,
+                removed_misclassified_hostnames=max(0, baseline - residual),
+            )
+        )
+    return outcomes
+
+
+def render_policy_curve(outcomes: list[PolicyOutcome]) -> str:
+    """A small table: policy -> residual harm -> share removed."""
+    lines = ["max list age   residual misclassified   harm removed"]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.max_age_days:>9d} d   {outcome.residual_misclassified_hostnames:>18,d}"
+            f"   {outcome.removal_fraction:>11.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Calibration of the synthetic substrates against the paper's tables.
+
+The paper's published numbers over-determine large parts of the
+synthetic world.  Given Table 3's list-age vector for fixed-usage
+repositories, each Table 2 eTLD's "projects missing the rule" counts
+pin its list-addition date to a narrow window; the Figure 3 medians pin
+the updated- and dependency-strategy age vectors; and the headline
+(1,313 eTLDs / 50,750 hostnames) together with Table 3's per-repository
+missing-hostname anchors pins how the remaining ~1,300 missing eTLDs
+and their snapshot populations spread over time.
+
+This package solves those constraints deterministically:
+
+* :mod:`repro.calibrate.intervals` — counting-constraint primitives;
+* :mod:`repro.calibrate.suffixes` — the calibrated suffix schedule
+  (Table 2 rows exactly, plus 1,298 synthesized remainder eTLDs);
+* :mod:`repro.calibrate.ages` — vendored-list age vectors per
+  integration strategy;
+* :mod:`repro.calibrate.words` — the deterministic name generator.
+
+Everything downstream (history synthesis, the repository corpus, the
+web snapshot) consumes these outputs, which is what makes the
+regenerated tables match the paper instead of merely resembling it.
+"""
+
+from repro.calibrate.ages import (
+    dependency_ages,
+    fixed_ages,
+    strategy_medians,
+    updated_ages,
+)
+from repro.calibrate.suffixes import (
+    CalibratedSuffix,
+    full_schedule,
+    remainder_suffixes,
+    table2_suffixes,
+    verify_schedule,
+)
+
+__all__ = [
+    "CalibratedSuffix",
+    "dependency_ages",
+    "fixed_ages",
+    "full_schedule",
+    "remainder_suffixes",
+    "strategy_medians",
+    "table2_suffixes",
+    "updated_ages",
+    "verify_schedule",
+]

@@ -1,0 +1,130 @@
+"""Counting-constraint primitives for calibration.
+
+The recurring shape: given thresholds ``t_1 < t_2 < … < t_k`` and
+targets ``c_i = |{v : v > t_i}|``, construct (or verify) a value
+multiset.  Because the targets come from the paper's published counts,
+feasibility requires ``c_i`` non-increasing in ``t_i``; the helpers
+raise loudly if the embedded data ever violates that, rather than
+producing a silently-miscalibrated corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def count_above(values: Iterable[int], threshold: int) -> int:
+    """How many values strictly exceed ``threshold``."""
+    return sum(1 for value in values if value > threshold)
+
+
+def verify_count_constraints(
+    values: Iterable[int], constraints: Sequence[tuple[int, int]]
+) -> list[str]:
+    """Check ``count_above`` targets; return human-readable violations.
+
+    An empty return value means every constraint holds — the form the
+    tests assert on so failures print exactly what drifted.
+    """
+    snapshot = list(values)
+    problems: list[str] = []
+    for threshold, expected in constraints:
+        actual = count_above(snapshot, threshold)
+        if actual != expected:
+            problems.append(
+                f"count(values > {threshold}) = {actual}, expected {expected}"
+            )
+    return problems
+
+
+def spread(low: int, high: int, count: int) -> list[int]:
+    """``count`` integers spread evenly across the open interval (low, high).
+
+    Deterministic, strictly inside the interval, non-decreasing, and
+    tolerant of narrow intervals (values may repeat when the interval
+    has fewer integers than ``count``).
+    """
+    if count <= 0:
+        return []
+    width = high - low
+    if width <= 1:
+        raise ValueError(f"interval ({low}, {high}) has no interior integers")
+    step = width / (count + 1)
+    values = []
+    for position in range(1, count + 1):
+        value = low + max(1, min(width - 1, round(position * step)))
+        values.append(value)
+    return values
+
+
+def quantized_spread(low: int, high: int, count: int, *, grid: int = 7) -> list[int]:
+    """``count`` integers in (low, high), restricted to a coarse grid.
+
+    The grid keeps the number of *distinct* values small: the history
+    synthesizer must mint one list version per distinct calibrated
+    date, and a weekly grid keeps that well inside the paper's 1,142
+    version budget.  Values are assigned round-robin over the grid
+    positions so populations spread across the whole interval.
+    """
+    if count <= 0:
+        return []
+    positions = list(range(low + 1, high, grid))
+    if not positions:
+        raise ValueError(f"interval ({low}, {high}) has no interior integers")
+    return [positions[index % len(positions)] for index in range(count)]
+
+
+def partition_total(total: int, weights: Sequence[float]) -> list[int]:
+    """Split ``total`` into integer parts proportional to ``weights``.
+
+    Largest-remainder rounding: parts sum exactly to ``total`` and are
+    individually within one of the exact proportional share.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        raise ValueError("weights must have positive sum")
+    exact = [total * weight / weight_sum for weight in weights]
+    parts = [int(value) for value in exact]
+    shortfall = total - sum(parts)
+    remainders = sorted(
+        range(len(weights)), key=lambda i: exact[i] - parts[i], reverse=True
+    )
+    for index in remainders[:shortfall]:
+        parts[index] += 1
+    return parts
+
+
+def zipf_counts(total: int, count: int, *, cap: int, exponent: float = 1.1) -> list[int]:
+    """``count`` positive integers summing to ``total``, Zipf-shaped.
+
+    Used for per-eTLD hostname populations: a few busy suffixes, a long
+    tail of single-hostname ones.  Every part is at least 1 and at most
+    ``cap``; surplus from capping is pushed down the tail.
+    """
+    if count <= 0:
+        if total != 0:
+            raise ValueError("cannot place a positive total in zero parts")
+        return []
+    if total < count:
+        raise ValueError(f"total {total} too small for {count} parts of at least 1")
+    weights = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    parts = partition_total(total - count, weights)
+    counts = [1 + part for part in parts]
+    # Enforce the cap, redistributing the excess to the smallest parts.
+    excess = 0
+    for index, value in enumerate(counts):
+        if value > cap:
+            excess += value - cap
+            counts[index] = cap
+    index = len(counts) - 1
+    while excess > 0 and index >= 0:
+        room = cap - counts[index]
+        take = min(room, excess)
+        counts[index] += take
+        excess -= take
+        index -= 1
+    if excess > 0:
+        raise ValueError(f"cap {cap} infeasible: {excess} hostnames unplaced")
+    return counts

@@ -1,0 +1,91 @@
+"""Printable derivation of the calibration (documentation-as-code).
+
+docs/calibration.md explains the constraint solving in prose; this
+module *prints the actual derivation* from the embedded data, so the
+windows and choices can be audited (and the tests can assert the prose
+still matches the arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibrate.ages import dependency_ages, updated_ages
+from repro.calibrate.intervals import count_above
+from repro.calibrate.suffixes import TABLE2_AGES
+from repro.data import paper
+
+
+@dataclass(frozen=True, slots=True)
+class WindowDerivation:
+    """The age window one Table 2 row's Prd count forces."""
+
+    etld: str
+    prd_count: int
+    window_low: int
+    window_high: int
+    chosen_age: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.window_low <= self.chosen_age < self.window_high
+
+
+def derive_windows() -> list[WindowDerivation]:
+    """Re-derive every Table 2 age window from the production ages."""
+    production = sorted(paper.table3_ages("production"), reverse=True)
+    derivations: list[WindowDerivation] = []
+    for row in paper.TABLE2:
+        k = row.fixed_production
+        # count(age > a) == k  <=>  a in [p_{k+1}, p_k)
+        high = production[k - 1] if k >= 1 else 10**9
+        low = production[k] if k < len(production) else 0
+        derivations.append(
+            WindowDerivation(
+                etld=row.etld,
+                prd_count=k,
+                window_low=low,
+                window_high=high,
+                chosen_age=TABLE2_AGES[row.etld],
+            )
+        )
+    return derivations
+
+
+def verify_derivation() -> list[str]:
+    """Check every chosen age sits in its window and reproduces all
+    four count columns; returns human-readable violations."""
+    problems: list[str] = []
+    production = paper.table3_ages("production")
+    test_other = paper.table3_ages("test") + paper.table3_ages("other")
+    for derivation in derive_windows():
+        if not derivation.feasible:
+            problems.append(
+                f"{derivation.etld}: chosen age {derivation.chosen_age} outside "
+                f"[{derivation.window_low}, {derivation.window_high})"
+            )
+    for row in paper.TABLE2:
+        age = TABLE2_AGES[row.etld]
+        checks = (
+            ("Prd", count_above(production, age), row.fixed_production),
+            ("T/O", count_above(test_other, age), row.fixed_test_other),
+            ("U", count_above(updated_ages(), age), row.updated),
+            ("D", count_above(dependency_ages(), age), row.dependency),
+        )
+        for column, measured, expected in checks:
+            if measured != expected:
+                problems.append(f"{row.etld} {column}: {measured} != {expected}")
+    return problems
+
+
+def render_derivation() -> str:
+    """The derivation as a table (the docs/calibration.md §1 table,
+    generated instead of typed)."""
+    lines = ["eTLD                     Prd   window (days)      chosen"]
+    for derivation in derive_windows():
+        lines.append(
+            f"{derivation.etld:24s} {derivation.prd_count:>3d}   "
+            f"[{derivation.window_low:>4d}, {derivation.window_high:>4d})   "
+            f"{derivation.chosen_age:>6d}"
+        )
+    return "\n".join(lines)

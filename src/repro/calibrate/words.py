@@ -1,0 +1,93 @@
+"""Deterministic name generation for synthetic suffixes and hostnames.
+
+All synthetic names are built from an embedded vocabulary with a seeded
+``random.Random``, so the whole world is reproducible from one integer.
+The vocabulary skews toward hosting/SaaS vocabulary because that is
+what the PSL's PRIVATE division actually looks like.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+ADJECTIVES: tuple[str, ...] = (
+    "alpha", "amber", "apex", "aqua", "arc", "astro", "atlas", "aurora",
+    "azure", "basalt", "beacon", "blaze", "bold", "breeze", "bright",
+    "brisk", "cedar", "chrome", "cipher", "citrus", "clear", "cobalt",
+    "comet", "coral", "cosmic", "crimson", "crystal", "delta", "drift",
+    "dusk", "dynamo", "echo", "ember", "epic", "fable", "falcon", "fern",
+    "flare", "flint", "flux", "forge", "frost", "gamma", "gale", "glade",
+    "golden", "granite", "grove", "halo", "harbor", "haven", "hazel",
+    "helio", "hyper", "indigo", "iron", "ivory", "jade", "jet", "juniper",
+    "keen", "kinetic", "lagoon", "lark", "lateral", "lively", "lumen",
+    "lunar", "lush", "magma", "maple", "marble", "meadow", "mellow",
+    "meridian", "mesa", "mica", "midnight", "mint", "mirage", "misty",
+    "modern", "mono", "morning", "mosaic", "neon", "nimbus", "noble",
+    "north", "nova", "oak", "ocean", "onyx", "opal", "orbit", "origin",
+    "osprey", "pale", "pearl", "pine", "pixel", "polar", "prime", "prism",
+    "pulse", "quartz", "quiet", "rapid", "raven", "ridge", "river",
+    "rogue", "royal", "ruby", "rustic", "sage", "scarlet", "shadow",
+    "sierra", "silver", "sky", "slate", "solar", "sonic", "spark",
+    "spruce", "stellar", "storm", "summit", "sunny", "swift", "terra",
+    "thunder", "tidal", "topaz", "true", "tundra", "turbo", "twilight",
+    "ultra", "umber", "urban", "vapor", "velvet", "verdant", "vertex",
+    "violet", "vivid", "wander", "west", "wild", "willow", "winter",
+    "zen", "zenith", "zephyr",
+)
+
+NOUNS: tuple[str, ...] = (
+    "apps", "base", "bay", "bench", "bin", "block", "board", "boost",
+    "box", "bridge", "builder", "cache", "cast", "cell", "chain",
+    "channel", "charts", "city", "cloud", "cluster", "code", "commerce",
+    "core", "craft", "dash", "data", "deck", "deploy", "desk", "dock",
+    "docs", "domain", "drive", "edge", "engine", "farm", "feed", "field",
+    "files", "flow", "folio", "force", "form", "forms", "forum", "frame",
+    "front", "funnel", "gate", "grid", "guard", "hive", "host", "hosting",
+    "hub", "kit", "lab", "labs", "landing", "launch", "layer", "ledger",
+    "lens", "link", "list", "loft", "loop", "mail", "maker", "market",
+    "mart", "mesh", "metrics", "mill", "mine", "net", "nest", "node",
+    "notes", "pad", "pages", "panel", "park", "pass", "path", "pay",
+    "peak", "pilot", "pipe", "plan", "platform", "play", "plaza", "point",
+    "pool", "port", "portal", "post", "press", "print", "pro", "probe",
+    "push", "rack", "radar", "rail", "ranch", "range", "reach", "relay",
+    "rent", "repo", "rise", "road", "robot", "rocket", "room", "route",
+    "scale", "scan", "scope", "script", "send", "serve", "shelf", "shell",
+    "ship", "shop", "signal", "sites", "space", "spot", "spring", "stack",
+    "stage", "station", "store", "storm", "stream", "studio", "suite",
+    "sync", "table", "tap", "team", "tent", "test", "tide", "tier",
+    "tools", "tower", "trace", "track", "trail", "tree", "vault", "view",
+    "villa", "wall", "ware", "watch", "wave", "web", "well", "wharf",
+    "wing", "wire", "works", "yard", "zone",
+)
+
+HOSTING_TLDS: tuple[str, ...] = (
+    "com", "com", "com", "io", "io", "net", "co", "app", "dev", "cloud",
+    "site", "org", "page",
+)
+
+
+def compound(rng: random.Random) -> str:
+    """One deterministic compound label like ``cobaltpages``."""
+    return rng.choice(ADJECTIVES) + rng.choice(NOUNS)
+
+
+def unique_names(
+    rng: random.Random,
+    taken: set[str],
+    builder: Callable[[random.Random], str] | None = None,
+) -> Iterator[str]:
+    """Yield distinct names, appending digits once compounds collide.
+
+    ``taken`` is shared mutable state: names already used elsewhere in
+    the synthetic world are never reissued.
+    """
+    make = builder or compound
+    while True:
+        name = make(rng)
+        if name in taken:
+            name = f"{name}{rng.randint(2, 99)}"
+        if name in taken:
+            continue
+        taken.add(name)
+        yield name

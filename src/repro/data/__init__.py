@@ -1,0 +1,20 @@
+"""Embedded seed data.
+
+This package carries the static, real-world facts the synthetic
+substrates are built from:
+
+* :mod:`repro.data.tlds` — the IANA root zone: real TLD strings with
+  category labels and introduction eras;
+* :mod:`repro.data.cc_second_level` — per-ccTLD second-level suffix
+  tables (``co.uk``, ``com.au``, …), the bulk of the early PSL;
+* :mod:`repro.data.jp_geo` — Japanese prefectures and the deterministic
+  city-name generator behind the mid-2012 PSL growth spike;
+* :mod:`repro.data.private_suffixes` — well-known PRIVATE-division
+  suffix operators with plausible list-addition eras;
+* :mod:`repro.data.paper` — the paper's published ground truth
+  (Table 1 taxonomy counts, Table 2 harm rows, Table 3 repositories,
+  headline constants), used both to calibrate the synthetic corpus and
+  as the expected values in EXPERIMENTS.md.
+
+Everything here is plain data: no I/O, no randomness.
+"""

@@ -1,0 +1,188 @@
+"""Second-level suffix tables under country-code TLDs.
+
+Most of the Public Suffix List's original 2,447 rules were second-level
+registration points under ccTLDs (``co.uk``, ``com.au``, ``ac.jp``, …).
+This module reproduces that structure: a table of real second-level
+label sets per ccTLD family, plus the handful of ccTLDs that historically
+used a wildcard rule (``*.uk`` era) before being refined into explicit
+entries — the mechanism behind the early third-party-classification
+drop in the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+# The canonical "government/academic/commercial" second-level label sets,
+# as used (with local variations) by most ccTLD registries.
+FULL_SET: tuple[str, ...] = (
+    "com", "net", "org", "edu", "gov", "mil", "ac", "co",
+)
+COMMONWEALTH_SET: tuple[str, ...] = ("co", "org", "me", "ltd", "plc", "net", "sch", "ac", "gov", "nhs", "police")
+LATIN_SET: tuple[str, ...] = ("com", "net", "org", "edu", "gob", "mil", "int")
+BR_SET: tuple[str, ...] = (
+    "com", "net", "org", "gov", "edu", "mil", "art", "adv", "arq", "bio",
+    "blog", "cng", "cnt", "ecn", "eng", "esp", "eti", "far", "flog", "fnd",
+    "fot", "fst", "g12", "ggf", "imb", "ind", "inf", "jor", "jus", "leg",
+    "lel", "mat", "med", "mus", "nom", "not", "ntr", "odo", "ppg", "pro",
+    "psc", "psi", "qsl", "rec", "slg", "srv", "taxi", "teo", "tmp", "trd",
+    "tur", "tv", "vet", "vlog", "wiki", "zlg",
+)
+JP_SET: tuple[str, ...] = ("ac", "ad", "co", "ed", "go", "gr", "lg", "ne", "or")
+UK_SET: tuple[str, ...] = ("ac", "co", "gov", "ltd", "me", "net", "nhs", "org", "plc", "police", "sch")
+AU_SET: tuple[str, ...] = ("com", "net", "org", "edu", "gov", "asn", "id")
+NZ_SET: tuple[str, ...] = ("ac", "co", "cri", "geek", "gen", "govt", "health", "iwi", "maori", "mil", "net", "org", "parliament", "school")
+ZA_SET: tuple[str, ...] = ("ac", "co", "edu", "gov", "law", "mil", "net", "nom", "org", "school", "web")
+KR_SET: tuple[str, ...] = ("ac", "co", "es", "go", "hs", "kg", "mil", "ms", "ne", "or", "pe", "re", "sc", "busan", "seoul")
+IN_SET: tuple[str, ...] = ("ac", "co", "edu", "firm", "gen", "gov", "ind", "mil", "net", "nic", "org", "res")
+CN_SET: tuple[str, ...] = ("ac", "com", "edu", "gov", "mil", "net", "org", "ah", "bj", "cq", "fj", "gd", "gs", "gx", "gz", "ha", "hb", "he", "hi", "hk", "hl", "hn", "jl", "js", "jx", "ln", "mo", "nm", "nx", "qh", "sc", "sd", "sh", "sn", "sx", "tj", "tw", "xj", "xz", "yn", "zj")
+
+# ccTLD -> its second-level label set.  ccTLDs absent from this table get
+# the FULL_SET by default when the synthesizer decides they have a
+# structured second level at all.
+SECOND_LEVEL_SETS: dict[str, tuple[str, ...]] = {
+    "uk": UK_SET,
+    "jp": JP_SET,
+    "au": AU_SET,
+    "nz": NZ_SET,
+    "za": ZA_SET,
+    "br": BR_SET,
+    "kr": KR_SET,
+    "in": IN_SET,
+    "cn": CN_SET,
+    "ar": LATIN_SET,
+    "mx": LATIN_SET,
+    "pe": LATIN_SET,
+    "ve": LATIN_SET,
+    "ec": LATIN_SET,
+    "gt": LATIN_SET,
+    "bo": LATIN_SET,
+    "py": LATIN_SET,
+    "ni": LATIN_SET,
+    "hn": LATIN_SET,
+    "sv": ("com", "edu", "gob", "org", "red"),
+    "tr": ("com", "net", "org", "edu", "gov", "mil", "av", "bbs", "bel", "biz", "dr", "gen", "info", "k12", "kep", "name", "pol", "tel", "tv", "web"),
+    "th": ("ac", "co", "go", "in", "mi", "net", "or"),
+    "il": ("ac", "co", "gov", "idf", "k12", "muni", "net", "org"),
+    "id": ("ac", "biz", "co", "desa", "go", "mil", "my", "net", "or", "ponpes", "sch", "web"),
+    "my": ("com", "net", "org", "gov", "edu", "mil", "name"),
+    "sg": ("com", "net", "org", "gov", "edu", "per"),
+    "hk": ("com", "edu", "gov", "idv", "net", "org"),
+    "tw": ("edu", "gov", "mil", "com", "net", "org", "idv", "game", "ebiz", "club"),
+    "ph": ("com", "net", "org", "gov", "edu", "ngo", "mil", "i"),
+    "vn": ("com", "net", "org", "edu", "gov", "int", "ac", "biz", "info", "name", "pro", "health"),
+    "pk": ("com", "net", "edu", "org", "fam", "biz", "web", "gov", "gob", "gok", "gon", "gop", "gos"),
+    "bd": ("com", "edu", "ac", "net", "gov", "org", "mil"),
+    "lk": ("gov", "sch", "net", "int", "com", "org", "edu", "ngo", "soc", "web", "ltd", "assn", "grp", "hotel", "ac"),
+    "np": ("com", "edu", "gov", "mil", "net", "org"),
+    "ke": ("ac", "co", "go", "info", "me", "mobi", "ne", "or", "sc"),
+    "ng": ("com", "edu", "gov", "i", "mil", "mobi", "name", "net", "org", "sch"),
+    "gh": ("com", "edu", "gov", "org", "mil"),
+    "tz": ("ac", "co", "go", "hotel", "info", "me", "mil", "mobi", "ne", "or", "sc", "tv"),
+    "ug": ("co", "or", "ac", "sc", "go", "ne", "com", "org"),
+    "zm": ("ac", "biz", "co", "com", "edu", "gov", "info", "mil", "net", "org", "sch"),
+    "zw": ("ac", "co", "gov", "mil", "org"),
+    "eg": ("com", "edu", "eun", "gov", "mil", "name", "net", "org", "sci"),
+    "ma": ("ac", "co", "gov", "net", "org", "press"),
+    "sa": ("com", "net", "org", "gov", "med", "pub", "edu", "sch"),
+    "ae": ("co", "net", "org", "sch", "ac", "gov", "mil"),
+    "jo": ("com", "org", "net", "edu", "sch", "gov", "mil", "name"),
+    "kw": ("com", "edu", "emb", "gov", "ind", "net", "org"),
+    "qa": ("com", "edu", "gov", "mil", "name", "net", "org", "sch"),
+    "om": ("com", "co", "edu", "gov", "med", "museum", "net", "org", "pro"),
+    "ru": ("ac", "edu", "gov", "int", "mil", "test"),
+    "ua": ("com", "edu", "gov", "in", "net", "org"),
+    "pl": ("com", "net", "org", "aid", "agro", "atm", "auto", "biz", "edu", "gmina", "gsm", "info", "mail", "miasta", "media", "mil", "nieruchomosci", "nom", "pc", "powiat", "priv", "realestate", "rel", "sex", "shop", "sklep", "sos", "szkola", "targi", "tm", "tourism", "travel", "turystyka"),
+    "ro": ("arts", "com", "firm", "info", "nom", "nt", "org", "rec", "store", "tm", "www"),
+    "hu": ("co", "info", "org", "priv", "sport", "tm", "2000", "agrar", "bolt", "casino", "city", "erotica", "erotika", "film", "forum", "games", "hotel", "ingatlan", "jogasz", "konyvelo", "lakas", "media", "news", "reklam", "sex", "shop", "suli", "szex", "tozsde", "utazas", "video"),
+    "gr": ("com", "edu", "net", "org", "gov"),
+    "pt": ("net", "gov", "org", "edu", "int", "publ", "com", "nome"),
+    "es": ("com", "nom", "org", "gob", "edu"),
+    "it": ("gov", "edu"),
+    "fr": ("asso", "com", "gouv", "nom", "prd", "tm", "avoues", "cci", "greta", "huissier-justice"),
+    "be": ("ac",),
+    "at": ("ac", "co", "gv", "or"),
+    "ch": (),
+    "no": ("fhs", "vgs", "fylkesbibl", "folkebibl", "museum", "idrett", "priv", "mil", "stat", "dep", "kommune", "herad"),
+    "se": ("a", "ac", "b", "bd", "brand", "c", "d", "e", "f", "fh", "fhsk", "fhv", "g", "h", "i", "k", "komforb", "kommunalforbund", "komvux", "l", "lanbib", "m", "n", "naturbruksgymn", "o", "org", "p", "parti", "pp", "press", "r", "s", "t", "tm", "u", "w", "x", "y", "z"),
+    "fi": ("aland",),
+    "ee": ("edu", "gov", "riik", "lib", "med", "com", "pri", "aip", "org", "fie"),
+    "lv": ("com", "edu", "gov", "org", "mil", "id", "net", "asn", "conf"),
+    "lt": ("gov",),
+    "cy": ("ac", "biz", "com", "ekloges", "gov", "ltd", "mil", "net", "org", "press", "pro", "tm"),
+    "mt": ("com", "edu", "net", "org"),
+    "ie": ("gov",),
+    "is": ("net", "com", "edu", "gov", "org", "int"),
+    "ca": ("ab", "bc", "mb", "nb", "nf", "nl", "ns", "nt", "nu", "on", "pe", "qc", "sk", "yk", "gc"),
+    "us": ("dni", "fed", "isa", "kids", "nsn", "ak", "al", "ar", "as", "az", "ca", "co", "ct", "dc", "de", "fl", "ga", "gu", "hi", "ia", "id", "il", "in", "ks", "ky", "la", "ma", "md", "me", "mi", "mn", "mo", "ms", "mt", "nc", "nd", "ne", "nh", "nj", "nm", "nv", "ny", "oh", "ok", "or", "pa", "pr", "ri", "sc", "sd", "tn", "tx", "ut", "va", "vi", "vt", "wa", "wi", "wv", "wy"),
+    "do": LATIN_SET,
+    "cr": ("ac", "co", "ed", "fi", "go", "or", "sa"),
+    "cu": ("com", "edu", "org", "net", "gov", "inf"),
+    "uy": ("com", "edu", "gub", "mil", "net", "org"),
+    "cl": ("gov", "gob", "co", "mil"),
+    "co": ("arts", "com", "edu", "firm", "gov", "info", "int", "mil", "net", "nom", "org", "rec", "web"),
+    "ck": FULL_SET,
+    "ci": FULL_SET,
+    "cm": FULL_SET,
+    "ir": ("ac", "co", "gov", "id", "net", "org", "sch"),
+    "kz": ("org", "edu", "net", "gov", "mil", "com"),
+    "uz": ("co", "com", "net", "org"),
+    "ge": ("com", "edu", "gov", "org", "mil", "net", "pvt"),
+    "am": ("co", "com", "commune", "net", "org"),
+    "az": ("com", "net", "int", "gov", "org", "edu", "info", "pp", "mil", "name", "pro", "biz"),
+    "by": ("gov", "mil", "com", "of"),
+    "md": (),
+    "mk": ("com", "org", "net", "edu", "gov", "inf", "name"),
+    "rs": ("ac", "co", "edu", "gov", "in", "org"),
+    "ba": ("com", "edu", "gov", "mil", "net", "org"),
+    "hr": ("iz", "from", "name", "com"),
+    "si": (),
+    "bg": (),
+}
+
+# ccTLDs that the early list covered with a single wildcard rule before
+# the registry's structure was spelled out explicitly.  Each entry maps
+# the ccTLD to the year its wildcard was replaced by explicit rules.
+WILDCARD_ERA: dict[str, int] = {
+    "uk": 2009,
+    "jp": 2010,
+    "br": 2009,
+    "ck": 0,      # never refined: *.ck (plus !www.ck) persists today
+    "er": 0,
+    "fk": 0,
+    "kh": 0,
+    "mm": 0,
+    "np": 2011,
+    "pg": 0,
+    "bd": 0,
+    "cy": 2011,
+    "il": 2012,
+    "kw": 2012,
+    "mz": 0,
+    "za": 2010,
+    "zm": 2013,
+    "zw": 2013,
+}
+
+# Wildcard exceptions that shipped alongside the wildcard-era rules.
+# Every exception must be carved out of the covering `*.cc` wildcard
+# (the linter enforces this, as the list maintainers do).
+WILDCARD_EXCEPTIONS: dict[str, tuple[str, ...]] = {
+    "ck": ("www",),
+    "er": (),
+    "uk": ("bl", "british-library", "jet", "mod", "parliament", "nls"),
+    "np": (),
+    "za": (),
+}
+
+
+def second_level_rules(cc: str) -> tuple[str, ...]:
+    """The explicit second-level suffixes for one ccTLD (``'co.uk'`` form)."""
+    labels = SECOND_LEVEL_SETS.get(cc, ())
+    return tuple(f"{label}.{cc}" for label in labels)
+
+
+def all_second_level_rules() -> tuple[str, ...]:
+    """Every explicit second-level rule across the embedded tables."""
+    rules: list[str] = []
+    for cc in sorted(SECOND_LEVEL_SETS):
+        rules.extend(second_level_rules(cc))
+    return tuple(rules)

@@ -1,0 +1,99 @@
+"""Japanese geographic names behind the mid-2012 PSL growth spike.
+
+In mid-2012 the Japanese registry (JPRS) opened city-level ("geographic
+type") registrations, and roughly 1,623 suffix rules of the form
+``<city>.<prefecture>.jp`` landed on the Public Suffix List in one burst
+— the most prominent spike in the paper's Figure 2.  This module embeds
+the real 47 prefectures and a deterministic, seeded generator of
+romanized city names so the synthetic history can reproduce the spike at
+its true size and shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+# The designated cities ("seirei shitei toshi") carry their own
+# wildcard rules directly under .jp on the real list, with a
+# !city.<name>.jp exception for the municipal government itself.
+DESIGNATED_CITIES: tuple[str, ...] = (
+    "sapporo", "sendai", "yokohama", "kawasaki", "nagoya", "kobe", "kitakyushu",
+)
+
+PREFECTURES: tuple[str, ...] = (
+    "aichi", "akita", "aomori", "chiba", "ehime", "fukui", "fukuoka",
+    "fukushima", "gifu", "gunma", "hiroshima", "hokkaido", "hyogo",
+    "ibaraki", "ishikawa", "iwate", "kagawa", "kagoshima", "kanagawa",
+    "kochi", "kumamoto", "kyoto", "mie", "miyagi", "miyazaki", "nagano",
+    "nagasaki", "nara", "niigata", "oita", "okayama", "okinawa", "osaka",
+    "saga", "saitama", "shiga", "shimane", "shizuoka", "tochigi",
+    "tokushima", "tokyo", "tottori", "toyama", "wakayama", "yamagata",
+    "yamaguchi", "yamanashi",
+)
+
+# A seed set of real city names, used before synthetic names kick in.
+REAL_CITIES: tuple[str, ...] = (
+    "sapporo", "sendai", "yokohama", "kawasaki", "nagoya", "kobe",
+    "sakai", "kitakyushu", "chuo", "minato", "shinjuku", "bunkyo",
+    "taito", "sumida", "koto", "shinagawa", "meguro", "ota", "setagaya",
+    "shibuya", "nakano", "suginami", "toshima", "kita", "arakawa",
+    "itabashi", "nerima", "adachi", "katsushika", "edogawa", "himeji",
+    "matsuyama", "utsunomiya", "kurashiki", "yokosuka", "kakamigahara",
+    "toyota", "takamatsu", "toyama", "nagaoka", "tsukuba", "kanazawa",
+)
+
+# Syllables for deterministic romaji-style city names.
+_ONSETS = ("k", "s", "t", "n", "h", "m", "y", "r", "w", "g", "z", "d", "b", "ch", "sh", "ts", "f", "j")
+_VOWELS = ("a", "i", "u", "e", "o")
+_CODAS = ("", "", "", "n")
+
+
+def synth_city_name(rng: random.Random) -> str:
+    """One plausible romanized Japanese city name from a seeded RNG."""
+    syllables = rng.randint(2, 4)
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS))
+    name = "".join(parts)
+    # Avoid doubled 'nn' runs that read badly in romaji.
+    return name.replace("nn", "n")
+
+
+def city_suffixes(total: int, seed: int = 2012) -> tuple[str, ...]:
+    """Generate ``total`` distinct ``city.prefecture.jp`` suffix rules.
+
+    Real city names are consumed first (spread round-robin across
+    prefectures); synthetic names fill the remainder.  Deterministic for
+    a given seed.
+    """
+    rng = random.Random(seed)
+    rules: list[str] = []
+    seen: set[str] = set()
+
+    def add(city: str, prefecture: str) -> None:
+        rule = f"{city}.{prefecture}.jp"
+        if rule not in seen:
+            seen.add(rule)
+            rules.append(rule)
+
+    for index, city in enumerate(REAL_CITIES):
+        if len(rules) >= total:
+            break
+        add(city, PREFECTURES[index % len(PREFECTURES)])
+
+    while len(rules) < total:
+        add(synth_city_name(rng), rng.choice(PREFECTURES))
+
+    return tuple(rules[:total])
+
+
+def prefecture_suffixes() -> tuple[str, ...]:
+    """The ``<prefecture>.jp`` rules themselves."""
+    return tuple(f"{prefecture}.jp" for prefecture in PREFECTURES)
+
+
+def iter_all(total_cities: int, seed: int = 2012) -> Iterable[str]:
+    """Prefecture rules followed by ``total_cities`` city rules."""
+    yield from prefecture_suffixes()
+    yield from city_suffixes(total_cities, seed=seed)

@@ -1,0 +1,161 @@
+"""Well-known PRIVATE-division suffix operators.
+
+The PRIVATE division of the PSL holds suffixes submitted by operators
+that let third parties register subdomains — exactly the rules whose
+absence from a vendored list creates the harms the paper quantifies
+(Table 2).  This module embeds a realistic inventory: the operators the
+paper names, the big multi-suffix families (Blogspot's per-country
+domains, AWS regional endpoints), and the year each entered the list.
+
+Suffixes whose addition date is *calibrated* against the paper's
+Table 2 (so that exactly the right number of studied projects miss
+them) carry ``year=None``; the corpus calibration layer assigns their
+dates.  Everything else uses its real-world era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PrivateSuffix:
+    """One PRIVATE-division suffix with provenance metadata.
+
+    ``arbitrary_content`` marks operators that host user-supplied
+    content (the paper's aggravating factor for privacy harm).
+    ``year`` is the list-addition era, or None when the calibration
+    layer sets the date from Table 2 constraints.
+    """
+
+    suffix: str
+    organization: str
+    year: int | None
+    arbitrary_content: bool = True
+
+
+# -- Table 2 suffixes: dates calibrated, not hard-coded ----------------------
+
+TABLE2_SUFFIXES: tuple[PrivateSuffix, ...] = (
+    PrivateSuffix("myshopify.com", "Shopify", None),
+    PrivateSuffix("digitaloceanspaces.com", "DigitalOcean", None),
+    PrivateSuffix("smushcdn.com", "WPMU DEV", None),
+    PrivateSuffix("r.appspot.com", "Google App Engine", None),
+    PrivateSuffix("sp.gov.br", "Sao Paulo state government", None, arbitrary_content=False),
+    PrivateSuffix("altervista.org", "Altervista", None),
+    PrivateSuffix("readthedocs.io", "Read the Docs", None),
+    PrivateSuffix("netlify.app", "Netlify", None),
+    PrivateSuffix("mg.gov.br", "Minas Gerais state government", None, arbitrary_content=False),
+    PrivateSuffix("lpages.co", "Leadpages", None),
+    PrivateSuffix("pr.gov.br", "Parana state government", None, arbitrary_content=False),
+    PrivateSuffix("web.app", "Firebase Hosting", None),
+    PrivateSuffix("carrd.co", "Carrd", None),
+    PrivateSuffix("rs.gov.br", "Rio Grande do Sul state government", None, arbitrary_content=False),
+    PrivateSuffix("sc.gov.br", "Santa Catarina state government", None, arbitrary_content=False),
+)
+
+# -- other real PRIVATE-division operators, by era ---------------------------
+
+KNOWN_SUFFIXES: tuple[PrivateSuffix, ...] = (
+    PrivateSuffix("blogspot.com", "Google Blogger", 2011),
+    PrivateSuffix("appspot.com", "Google App Engine", 2011),
+    PrivateSuffix("github.io", "GitHub Pages", 2013),
+    PrivateSuffix("githubusercontent.com", "GitHub", 2014),
+    PrivateSuffix("herokuapp.com", "Heroku", 2013),
+    PrivateSuffix("cloudfront.net", "Amazon CloudFront", 2012),
+    PrivateSuffix("elasticbeanstalk.com", "AWS Elastic Beanstalk", 2013),
+    PrivateSuffix("azurewebsites.net", "Microsoft Azure", 2014),
+    PrivateSuffix("cloudapp.net", "Microsoft Azure", 2014),
+    PrivateSuffix("fastly.net", "Fastly", 2015, arbitrary_content=False),
+    PrivateSuffix("firebaseapp.com", "Firebase Hosting", 2016),
+    PrivateSuffix("wordpress.com", "Automattic", 2011),
+    PrivateSuffix("tumblr.com", "Tumblr", 2012),
+    PrivateSuffix("dyndns.org", "Dyn", 2008, arbitrary_content=False),
+    PrivateSuffix("no-ip.com", "No-IP", 2008, arbitrary_content=False),
+    PrivateSuffix("duckdns.org", "Duck DNS", 2015, arbitrary_content=False),
+    PrivateSuffix("glitch.me", "Glitch", 2017),
+    PrivateSuffix("gitlab.io", "GitLab Pages", 2015),
+    PrivateSuffix("bitbucket.io", "Bitbucket Cloud", 2017),
+    PrivateSuffix("netlify.com", "Netlify", 2016),
+    PrivateSuffix("now.sh", "Vercel", 2017),
+    PrivateSuffix("vercel.app", "Vercel", 2020),
+    PrivateSuffix("onrender.com", "Render", 2020),
+    PrivateSuffix("fly.dev", "Fly.io", 2020),
+    PrivateSuffix("workers.dev", "Cloudflare Workers", 2019),
+    PrivateSuffix("pages.dev", "Cloudflare Pages", 2021),
+    PrivateSuffix("repl.co", "Replit", 2019),
+    PrivateSuffix("wixsite.com", "Wix", 2017),
+    PrivateSuffix("squarespace.com", "Squarespace", 2017, arbitrary_content=False),
+    PrivateSuffix("weebly.com", "Weebly", 2013),
+    PrivateSuffix("webflow.io", "Webflow", 2017),
+    PrivateSuffix("surge.sh", "Surge", 2016),
+    PrivateSuffix("neocities.org", "Neocities", 2015),
+    PrivateSuffix("000webhostapp.com", "Hostinger", 2017),
+    PrivateSuffix("azurestaticapps.net", "Microsoft Azure", 2021),
+    PrivateSuffix("web.core.windows.net", "Azure Blob Storage", 2019),
+    PrivateSuffix("s3.amazonaws.com", "Amazon S3", 2012),
+    PrivateSuffix("hubspotpagebuilder.com", "HubSpot", 2020, arbitrary_content=False),
+    PrivateSuffix("translate.goog", "Google Translate", 2021, arbitrary_content=False),
+    PrivateSuffix("gentapps.com", "Gentics", 2020, arbitrary_content=False),
+    PrivateSuffix("firebasestorage.googleapis.com", "Firebase Storage", 2021),
+    PrivateSuffix("linodeobjects.com", "Linode", 2020),
+    PrivateSuffix("backblazeb2.com", "Backblaze", 2019),
+    PrivateSuffix("wasabisys.com", "Wasabi", 2019),
+    PrivateSuffix("ngrok.io", "ngrok", 2016, arbitrary_content=False),
+    PrivateSuffix("statically.io", "Statically", 2020, arbitrary_content=False),
+    PrivateSuffix("jsdelivr.net", "jsDelivr", 2018, arbitrary_content=False),
+)
+
+# Blogspot operates one domain per country market; all were added in one
+# sweep.  Real per-country blogspot suffixes.
+BLOGSPOT_COUNTRIES: tuple[str, ...] = (
+    "ae", "al", "am", "ba", "be", "bg", "bj", "ca", "cf", "ch", "cl",
+    "co.at", "co.id", "co.il", "co.ke", "co.nz", "co.uk", "co.za",
+    "com.ar", "com.au", "com.br", "com.by", "com.co", "com.cy", "com.ee",
+    "com.eg", "com.es", "com.mt", "com.ng", "com.tr", "com.uy", "cv",
+    "cz", "de", "dk", "fi", "fr", "gr", "hk", "hr", "hu", "ie", "in",
+    "is", "it", "jp", "kr", "li", "lt", "lu", "md", "mk", "mr", "mx",
+    "my", "nl", "no", "pe", "pt", "qa", "re", "ro", "rs", "ru", "se",
+    "sg", "si", "sk", "sn", "td", "tw", "ug", "vn",
+)
+
+
+def blogspot_suffixes() -> tuple[PrivateSuffix, ...]:
+    """The per-country Blogspot suffix family (added en masse, 2014)."""
+    return tuple(
+        PrivateSuffix(f"blogspot.{cc}", "Google Blogger", 2014)
+        for cc in BLOGSPOT_COUNTRIES
+    )
+
+
+# Real AWS regions; used to build the multi-component S3/EB endpoint rules
+# that make up the PSL's small 4-plus-component population.
+AWS_REGIONS: tuple[str, ...] = (
+    "us-east-1", "us-east-2", "us-west-1", "us-west-2", "eu-west-1",
+    "eu-west-2", "eu-west-3", "eu-central-1", "eu-north-1",
+    "ap-southeast-1", "ap-southeast-2", "ap-northeast-1",
+    "ap-northeast-2", "ap-south-1", "sa-east-1", "ca-central-1",
+)
+
+
+def aws_suffixes() -> tuple[PrivateSuffix, ...]:
+    """Regional AWS endpoint rules (3 and 4+ components), era 2016-2018."""
+    records: list[PrivateSuffix] = []
+    for region in AWS_REGIONS:
+        records.append(
+            PrivateSuffix(f"s3.{region}.amazonaws.com", "Amazon S3", 2017)
+        )
+        records.append(
+            PrivateSuffix(f"{region}.elasticbeanstalk.com", "AWS Elastic Beanstalk", 2017, arbitrary_content=False)
+        )
+    # The dualstack endpoints are the real list's 4-plus-component rules.
+    for region in AWS_REGIONS[:10]:
+        records.append(
+            PrivateSuffix(f"s3.dualstack.{region}.amazonaws.com", "Amazon S3", 2018)
+        )
+    return tuple(records)
+
+
+def all_known() -> tuple[PrivateSuffix, ...]:
+    """Every embedded private suffix with a concrete era (Table 2 excluded)."""
+    return KNOWN_SUFFIXES + blogspot_suffixes() + aws_suffixes()

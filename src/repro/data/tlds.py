@@ -1,0 +1,205 @@
+"""Real top-level domains with IANA categories and introduction eras.
+
+The IANA Root Zone Database labels each TLD as generic, country-code,
+sponsored, infrastructure, generic-restricted, or test.  The paper uses
+those labels to categorize PSL suffix entries (Section 3).  This module
+embeds the real inventory (country codes are complete; the generic set
+covers the legacy TLDs plus a large sample of the 2013-2016 new-gTLD
+program) together with the year each group entered the root, which the
+history synthesizer uses to stage additions over the list's lifetime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TldCategory(enum.Enum):
+    """IANA root zone category labels (paper Section 3)."""
+
+    GENERIC = "generic"
+    GENERIC_RESTRICTED = "generic-restricted"
+    COUNTRY_CODE = "country-code"
+    SPONSORED = "sponsored"
+    INFRASTRUCTURE = "infrastructure"
+    TEST = "test"
+
+
+@dataclass(frozen=True, slots=True)
+class TldRecord:
+    """One root-zone delegation: the label, its category, and entry year."""
+
+    name: str
+    category: TldCategory
+    year: int
+
+
+# -- legacy gTLDs (1985-1988) plus 2000/2004 rounds --------------------------
+
+_LEGACY_GENERIC: tuple[tuple[str, int], ...] = (
+    ("com", 1985),
+    ("org", 1985),
+    ("net", 1985),
+    ("info", 2001),
+    ("mobi", 2005),
+    ("asia", 2007),
+)
+
+_GENERIC_RESTRICTED: tuple[tuple[str, int], ...] = (
+    ("biz", 2001),
+    ("name", 2001),
+    ("pro", 2002),
+)
+
+_SPONSORED: tuple[tuple[str, int], ...] = (
+    ("edu", 1985),
+    ("gov", 1985),
+    ("mil", 1985),
+    ("int", 1988),
+    ("aero", 2001),
+    ("coop", 2001),
+    ("museum", 2001),
+    ("cat", 2005),
+    ("jobs", 2005),
+    ("travel", 2005),
+    ("tel", 2007),
+    ("post", 2012),
+    ("xxx", 2011),
+)
+
+_INFRASTRUCTURE: tuple[tuple[str, int], ...] = (("arpa", 1985),)
+
+# -- country-code TLDs (complete ASCII set) ----------------------------------
+# Delegation years are bucketed by era; precision beyond "pre-PSL" does not
+# matter because every ccTLD predates the list's 2007 creation.
+
+_CC_TLDS: tuple[str, ...] = (
+    "ac", "ad", "ae", "af", "ag", "ai", "al", "am", "ao", "aq", "ar", "as",
+    "at", "au", "aw", "ax", "az", "ba", "bb", "bd", "be", "bf", "bg", "bh",
+    "bi", "bj", "bm", "bn", "bo", "br", "bs", "bt", "bw", "by", "bz", "ca",
+    "cc", "cd", "cf", "cg", "ch", "ci", "ck", "cl", "cm", "cn", "co", "cr",
+    "cu", "cv", "cw", "cx", "cy", "cz", "de", "dj", "dk", "dm", "do", "dz",
+    "ec", "ee", "eg", "er", "es", "et", "eu", "fi", "fj", "fk", "fm", "fo",
+    "fr", "ga", "gd", "ge", "gf", "gg", "gh", "gi", "gl", "gm", "gn", "gp",
+    "gq", "gr", "gs", "gt", "gu", "gw", "gy", "hk", "hm", "hn", "hr", "ht",
+    "hu", "id", "ie", "il", "im", "in", "io", "iq", "ir", "is", "it", "je",
+    "jm", "jo", "jp", "ke", "kg", "kh", "ki", "km", "kn", "kp", "kr", "kw",
+    "ky", "kz", "la", "lb", "lc", "li", "lk", "lr", "ls", "lt", "lu", "lv",
+    "ly", "ma", "mc", "md", "me", "mg", "mh", "mk", "ml", "mm", "mn", "mo",
+    "mp", "mq", "mr", "ms", "mt", "mu", "mv", "mw", "mx", "my", "mz", "na",
+    "nc", "ne", "nf", "ng", "ni", "nl", "no", "np", "nr", "nu", "nz", "om",
+    "pa", "pe", "pf", "pg", "ph", "pk", "pl", "pm", "pn", "pr", "ps", "pt",
+    "pw", "py", "qa", "re", "ro", "rs", "ru", "rw", "sa", "sb", "sc", "sd",
+    "se", "sg", "sh", "si", "sk", "sl", "sm", "sn", "so", "sr", "ss", "st",
+    "sv", "sx", "sy", "sz", "tc", "td", "tf", "tg", "th", "tj", "tk", "tl",
+    "tm", "tn", "to", "tr", "tt", "tv", "tw", "tz", "ua", "ug", "uk", "us",
+    "uy", "uz", "va", "vc", "ve", "vg", "vi", "vn", "vu", "wf", "ws", "ye",
+    "yt", "za", "zm", "zw",
+)
+
+# -- new gTLD program (2013-2016) --------------------------------------------
+# A real sample of the program's delegations, grouped by delegation year.
+# The synthesizer tops these up with deterministic filler names to reach
+# the root zone's actual scale (~1200 new gTLDs).
+
+_NEW_GTLDS_BY_YEAR: dict[int, tuple[str, ...]] = {
+    2013: (
+        "bike", "clothing", "guru", "holdings", "plumbing", "singles",
+        "ventures", "camera", "equipment", "estate", "gallery", "graphics",
+        "lighting", "photography", "sexy", "tattoo", "technology", "tips",
+        "today", "uno", "menu", "buzz", "land", "construction", "contractors",
+        "directory", "kitchen", "diamonds", "enterprises", "voyage", "onl",
+    ),
+    2014: (
+        "academy", "agency", "associates", "bargains", "berlin", "best",
+        "boutique", "build", "builders", "cab", "camp", "capital", "cards",
+        "care", "careers", "cash", "catering", "center", "cheap", "church",
+        "city", "claims", "cleaning", "clinic", "club", "codes", "coffee",
+        "community", "company", "computer", "condos", "cool", "credit",
+        "creditcard", "cruises", "dance", "dating", "deals", "democrat",
+        "dental", "digital", "direct", "discount", "domains", "education",
+        "email", "engineering", "events", "exchange", "expert", "exposed",
+        "fail", "farm", "finance", "financial", "fish", "fitness", "flights",
+        "florist", "foundation", "fund", "furniture", "futbol", "gift",
+        "glass", "global", "gratis", "gripe", "guide", "healthcare", "help",
+        "holiday", "host", "house", "industries", "institute", "insure",
+        "international", "investments", "kim", "lease", "life", "limited",
+        "limo", "link", "loans", "london", "luxury", "management",
+        "marketing", "media", "moda", "moe", "money", "moscow", "network",
+        "ninja", "nyc", "partners", "parts", "photo", "photos", "pics",
+        "pictures", "pink", "pizza", "place", "press", "productions",
+        "properties", "pub", "recipes", "red", "rentals", "repair", "report",
+        "rest", "restaurant", "reviews", "rocks", "ruhr", "schule",
+        "services", "shoes", "social", "solar", "solutions", "soy", "space",
+        "supplies", "supply", "support", "surgery", "systems", "tax",
+        "tienda", "tokyo", "tools", "town", "toys", "trade", "training",
+        "university", "vacations", "vegas", "viajes", "villas", "vision",
+        "vodka", "vote", "voting", "watch", "webcam", "website", "wiki",
+        "works", "world", "wtf", "xyz", "zone",
+    ),
+    2015: (
+        "accountant", "adult", "airforce", "apartments", "army", "auction",
+        "audio", "band", "bank", "bar", "bid", "bingo", "bio", "black",
+        "blue", "boats", "casa", "casino", "chat", "cloud", "coach",
+        "college", "cooking", "country", "courses", "cricket", "date",
+        "delivery", "design", "dog", "download", "earth", "energy",
+        "engineer", "faith", "family", "fans", "fashion", "film", "fit",
+        "flowers", "football", "forsale", "garden", "gives", "gold", "golf",
+        "green", "gifts", "hockey", "horse", "hosting", "irish", "jewelry",
+        "lawyer", "legal", "loan", "lol", "love", "market", "markets",
+        "memorial", "men", "mortgage", "movie", "navy", "news", "online",
+        "paris", "party", "pet", "plus", "poker", "porn", "racing",
+        "rehab", "review", "rip", "run", "sale", "school", "science",
+        "site", "ski", "soccer", "studio", "study", "style", "sucks",
+        "surf", "taxi", "team", "tech", "tennis", "theater", "tours",
+        "video", "vip", "wang", "wedding", "win", "wine", "work", "yoga",
+    ),
+    2016: (
+        "app", "art", "auto", "baby", "beauty", "blog", "boston", "car",
+        "cars", "doctor", "eco", "exposedtest", "fun", "fyi", "game",
+        "games", "group", "hair", "homes", "hot", "jetzt", "live", "llc",
+        "ltd", "mba", "miami", "mom", "motorcycles", "one", "promo",
+        "realty", "salon", "security", "shop", "shopping", "show", "store",
+        "stream", "sydney", "theatre", "tickets", "tube", "vin", "vlaanderen",
+        "wales", "watches", "web", "yachts", "you",
+    ),
+    2018: ("dev", "page", "new", "day"),
+    2019: ("inc", "llp", "gay", "charity"),
+}
+
+
+def all_tlds() -> tuple[TldRecord, ...]:
+    """The full embedded root zone, in a stable deterministic order."""
+    records: list[TldRecord] = []
+    for name, year in _LEGACY_GENERIC:
+        records.append(TldRecord(name, TldCategory.GENERIC, year))
+    for name, year in _GENERIC_RESTRICTED:
+        records.append(TldRecord(name, TldCategory.GENERIC_RESTRICTED, year))
+    for name, year in _SPONSORED:
+        records.append(TldRecord(name, TldCategory.SPONSORED, year))
+    for name, year in _INFRASTRUCTURE:
+        records.append(TldRecord(name, TldCategory.INFRASTRUCTURE, year))
+    for name in _CC_TLDS:
+        records.append(TldRecord(name, TldCategory.COUNTRY_CODE, 1994))
+    for year, names in sorted(_NEW_GTLDS_BY_YEAR.items()):
+        for name in names:
+            records.append(TldRecord(name, TldCategory.GENERIC, year))
+    return tuple(records)
+
+
+def country_code_tlds() -> tuple[str, ...]:
+    """All embedded ccTLD labels."""
+    return _CC_TLDS
+
+
+def new_gtlds_by_year() -> dict[int, tuple[str, ...]]:
+    """Real new-gTLD delegations grouped by year (2013-2019 sample)."""
+    return dict(_NEW_GTLDS_BY_YEAR)
+
+
+def legacy_tlds() -> tuple[str, ...]:
+    """TLDs that existed before the PSL was created in 2007."""
+    return tuple(
+        record.name for record in all_tlds() if record.year < 2007
+    )

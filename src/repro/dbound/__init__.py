@@ -1,0 +1,26 @@
+"""DBOUND prototype: DNS-advertised administrative boundaries.
+
+The paper's conclusion points at draft-sullivan-dbound as the way out
+of list-staleness: let the DNS itself advertise where administrative
+boundaries lie, so consumers never hold a stale copy.  This package
+prototypes that design:
+
+* :mod:`repro.dbound.records` — ``_bound`` records and a zone store;
+* :mod:`repro.dbound.resolver` — the lookup walk that answers "what
+  site does this hostname belong to?" from records;
+* :mod:`repro.dbound.compare` — agreement metrics between
+  record-derived boundaries and PSL-derived ones, quantifying what a
+  migration would preserve.
+"""
+
+from repro.dbound.compare import BoundaryAgreement, compare_boundaries
+from repro.dbound.records import BoundaryRecord, BoundaryZone
+from repro.dbound.resolver import BoundaryResolver
+
+__all__ = [
+    "BoundaryAgreement",
+    "BoundaryRecord",
+    "BoundaryResolver",
+    "BoundaryZone",
+    "compare_boundaries",
+]

@@ -1,0 +1,64 @@
+"""Agreement between record-derived and PSL-derived boundaries.
+
+A migration to DNS-advertised boundaries is only plausible if records
+generated from the current list reproduce its decisions.  The
+comparator measures exactly that over a hostname universe, and — run
+against an *older* list's zone — quantifies how record freshness
+removes the staleness harm the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dbound.records import BoundaryZone
+from repro.dbound.resolver import BoundaryResolver
+from repro.psl.list import PublicSuffixList
+
+
+@dataclass(frozen=True, slots=True)
+class BoundaryAgreement:
+    """Outcome of one comparison run."""
+
+    hostnames: int
+    matching_sites: int
+    disagreements: tuple[tuple[str, str, str], ...]  # host, record site, psl site
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of hostnames resolved to the same site."""
+        if self.hostnames == 0:
+            return 1.0
+        return self.matching_sites / self.hostnames
+
+
+def compare_boundaries(
+    psl: PublicSuffixList,
+    hostnames: Iterable[str],
+    *,
+    zone: BoundaryZone | None = None,
+    disagreement_limit: int = 25,
+) -> BoundaryAgreement:
+    """Resolve every hostname both ways and report agreement.
+
+    ``zone`` defaults to the zone a full migration of ``psl`` would
+    publish; pass a zone built from a different list version to study
+    drift.
+    """
+    zone = zone if zone is not None else BoundaryZone.from_psl(psl)
+    resolver = BoundaryResolver(zone)
+    matches = 0
+    total = 0
+    disagreements: list[tuple[str, str, str]] = []
+    for host in hostnames:
+        total += 1
+        record_site = resolver.resolve(host).site
+        psl_site = psl.site_of(host)
+        if record_site == psl_site:
+            matches += 1
+        elif len(disagreements) < disagreement_limit:
+            disagreements.append((host, record_site, psl_site))
+    return BoundaryAgreement(
+        hostnames=total, matching_sites=matches, disagreements=tuple(disagreements)
+    )

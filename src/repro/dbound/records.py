@@ -1,0 +1,106 @@
+"""``_bound`` records and the zone store.
+
+Following the DBOUND problem statement, a domain operator publishes a
+record at ``_bound.<name>`` asserting whether names below ``<name>``
+are independently administered.  Two assertions suffice to express
+everything the PSL expresses:
+
+* ``INDEPENDENT`` — each direct child of ``<name>`` is its own
+  administrative domain (the wildcard-suffix case: ``github.io``);
+* ``BOUNDARY`` — ``<name>`` itself is a registration point; a child's
+  registrable domain is ``<child>.<name>`` (the ``co.uk`` case).
+
+The zone store maps names to records, standing in for the DNS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import RuleKind
+
+
+class Assertion(enum.Enum):
+    """What a ``_bound`` record claims about names below its owner."""
+
+    BOUNDARY = "boundary"
+    INDEPENDENT = "independent"
+
+
+@dataclass(frozen=True, slots=True)
+class BoundaryRecord:
+    """One published ``_bound`` record."""
+
+    owner: str
+    assertion: Assertion
+
+    @property
+    def record_name(self) -> str:
+        """The DNS name the record would live at."""
+        return f"_bound.{self.owner}"
+
+
+class BoundaryZone:
+    """An in-memory stand-in for the DNS's ``_bound`` records."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, BoundaryRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def publish(self, owner: str, assertion: Assertion) -> BoundaryRecord:
+        """Publish (or replace) the record for ``owner``."""
+        record = BoundaryRecord(owner=owner.lower().rstrip("."), assertion=assertion)
+        self._records[record.owner] = record
+        return record
+
+    def withdraw(self, owner: str) -> bool:
+        """Remove ``owner``'s record; True when one existed."""
+        return self._records.pop(owner.lower().rstrip("."), None) is not None
+
+    def lookup(self, owner: str) -> BoundaryRecord | None:
+        """The record published exactly at ``owner``, if any."""
+        return self._records.get(owner.lower().rstrip("."))
+
+    def to_nameserver(self):
+        """Publish every record into a real DNS nameserver.
+
+        Each assertion becomes a TXT record ``bound=<assertion>`` at
+        ``_bound.<owner>``, all under a single synthetic zone (the
+        in-memory equivalent of each operator publishing in their own
+        zone).  Pair with
+        :class:`repro.dbound.resolver.DnsBoundaryResolver`.
+        """
+        from repro.net.dns import Nameserver, RecordType, ResourceRecord, Zone
+
+        zone = Zone("")  # the root: every name is in-zone
+        for record in self._records.values():
+            zone.add(
+                ResourceRecord(
+                    record.record_name,
+                    RecordType.TXT,
+                    f"bound={record.assertion.value}",
+                )
+            )
+        return Nameserver([zone])
+
+    @classmethod
+    def from_psl(cls, psl: PublicSuffixList) -> "BoundaryZone":
+        """Publish the records a full PSL migration would create.
+
+        Every suffix rule becomes a ``BOUNDARY`` record at the suffix;
+        wildcard rules become ``INDEPENDENT`` records at their base.
+        Exception rules need no record: the exception's owner simply
+        publishes nothing, and the resolver's default applies.
+        """
+        zone = cls()
+        for rule in psl.rules:
+            if rule.kind is RuleKind.WILDCARD:
+                base = ".".join(reversed(rule.labels[:-1]))
+                zone.publish(base, Assertion.INDEPENDENT)
+            elif rule.kind is RuleKind.NORMAL:
+                zone.publish(rule.name, Assertion.BOUNDARY)
+        return zone

@@ -1,0 +1,126 @@
+"""Answering boundary queries from ``_bound`` records.
+
+The resolver walks a hostname's ancestors from the TLD downward,
+tracking the deepest name asserted to be a boundary or independence
+point — the record-based equivalent of the PSL's longest-match rule.
+Because records live in the operator's zone, a consumer is never
+stale: the "list" is resolved at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbound.records import Assertion, BoundaryZone
+
+
+@dataclass(frozen=True, slots=True)
+class BoundaryAnswer:
+    """The resolver's verdict for one hostname."""
+
+    hostname: str
+    public_suffix: str
+    registrable_domain: str | None
+
+    @property
+    def site(self) -> str:
+        """The privacy-boundary key (mirrors SuffixMatch.site)."""
+        return self.registrable_domain or self.public_suffix
+
+
+class BoundaryResolver:
+    """Resolves hostnames to sites using a :class:`BoundaryZone`."""
+
+    def __init__(self, zone: BoundaryZone, *, lookup_counter: bool = False) -> None:
+        self._zone = zone
+        self.lookups = 0
+        self._count = lookup_counter
+
+    def resolve(self, hostname: str) -> BoundaryAnswer:
+        """The record-walk equivalent of the PSL lookup algorithm.
+
+        Walking from the TLD leftward, the suffix extends through every
+        name holding a ``BOUNDARY`` record; an ``INDEPENDENT`` record
+        extends the suffix one label past its owner.  With no records
+        at all, the TLD is the suffix (the PSL's implicit ``*`` rule).
+        """
+        labels = hostname.lower().rstrip(".").split(".")
+        suffix_length = 1
+        # Examine ancestors from shortest (TLD) to longest.
+        for take in range(1, len(labels) + 1):
+            owner = ".".join(labels[len(labels) - take :])
+            if self._count:
+                self.lookups += 1
+            record = self._zone.lookup(owner)
+            if record is None:
+                continue
+            if record.assertion is Assertion.BOUNDARY:
+                suffix_length = max(suffix_length, take)
+            elif record.assertion is Assertion.INDEPENDENT and take < len(labels):
+                # Independence speaks about *children* of the owner; at
+                # the owner itself it asserts nothing (exactly as a PSL
+                # wildcard does not match its own base).
+                suffix_length = max(suffix_length, take + 1)
+        suffix = ".".join(labels[len(labels) - suffix_length :])
+        if len(labels) > suffix_length:
+            registrable = ".".join(labels[len(labels) - suffix_length - 1 :])
+        else:
+            registrable = None
+        return BoundaryAnswer(
+            hostname=".".join(labels), public_suffix=suffix, registrable_domain=registrable
+        )
+
+    def same_site(self, first: str, second: str) -> bool:
+        """Record-derived same-site check."""
+        return self.resolve(first).site == self.resolve(second).site
+
+
+class DnsBoundaryResolver:
+    """Boundary resolution over the real DNS substrate.
+
+    Queries ``_bound.<ancestor>`` TXT records through a
+    :class:`repro.net.dns.StubResolver`, so boundary answers go through
+    genuine DNS mechanics — per-name queries, caching, negative
+    caching.  ``resolver.upstream_queries`` then measures the protocol
+    cost the DBOUND draft worries about, and the cache shows why it
+    amortizes.
+    """
+
+    def __init__(self, resolver) -> None:
+        self._resolver = resolver
+
+    def _assertion_at(self, owner: str) -> Assertion | None:
+        from repro.net.dns import RecordType
+
+        for text in self._resolver.resolve(f"_bound.{owner}", RecordType.TXT).texts():
+            if text == "bound=boundary":
+                return Assertion.BOUNDARY
+            if text == "bound=independent":
+                return Assertion.INDEPENDENT
+        return None
+
+    def resolve(self, hostname: str) -> BoundaryAnswer:
+        """Same walk as :class:`BoundaryResolver`, one DNS query per
+        ancestor (cached by the stub resolver)."""
+        labels = hostname.lower().rstrip(".").split(".")
+        suffix_length = 1
+        for take in range(1, len(labels) + 1):
+            owner = ".".join(labels[len(labels) - take :])
+            assertion = self._assertion_at(owner)
+            if assertion is Assertion.BOUNDARY:
+                suffix_length = max(suffix_length, take)
+            elif assertion is Assertion.INDEPENDENT and take < len(labels):
+                suffix_length = max(suffix_length, take + 1)
+        suffix = ".".join(labels[len(labels) - suffix_length :])
+        registrable = (
+            ".".join(labels[len(labels) - suffix_length - 1 :])
+            if len(labels) > suffix_length
+            else None
+        )
+        return BoundaryAnswer(
+            hostname=".".join(labels), public_suffix=suffix, registrable_domain=registrable
+        )
+
+    def same_site(self, first: str, second: str) -> bool:
+        """DNS-backed same-site check."""
+        return self.resolve(first).site == self.resolve(second).site

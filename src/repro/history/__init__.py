@@ -1,0 +1,37 @@
+"""Versioned Public Suffix List history.
+
+The paper extracts 1,142 dated versions of the PSL from its GitHub
+history.  This package provides the equivalent substrate:
+
+* :mod:`repro.history.version` — the per-version record (date, commit
+  hash, delta, rule count);
+* :mod:`repro.history.store` — an append-only, content-addressed commit
+  store with snapshot-accelerated checkout;
+* :mod:`repro.history.timeline` — growth statistics computed in one
+  pass over the deltas (Figure 2), and rule addition/removal dating;
+* :mod:`repro.history.synthesis` — the deterministic generator that
+  replays a history with the real list's measured shape.
+"""
+
+from repro.history.export import export_history, export_patches, import_history, import_patches
+from repro.history.stats import cadence, churn
+from repro.history.store import VersionStore
+from repro.history.synthesis import SynthesisConfig, synthesize_history
+from repro.history.timeline import GrowthPoint, growth_series, rule_addition_dates
+from repro.history.version import PslVersion
+
+__all__ = [
+    "GrowthPoint",
+    "PslVersion",
+    "SynthesisConfig",
+    "VersionStore",
+    "cadence",
+    "churn",
+    "export_history",
+    "export_patches",
+    "growth_series",
+    "import_history",
+    "import_patches",
+    "rule_addition_dates",
+    "synthesize_history",
+]

@@ -1,0 +1,150 @@
+"""Exporting and importing histories as directory trees.
+
+The paper's artifact release ships the extracted list versions as
+files.  This module provides the same interchange format: a directory
+with one canonical ``.dat`` per version plus a JSON index carrying
+dates, hashes, and messages.  Round-tripping through the format
+preserves every version's rule set and metadata, so a history can be
+rebuilt on another machine (or from a real ``publicsuffix/list``
+checkout processed into this layout) and fed to the dating and sweep
+machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+
+from repro.history.store import VersionStore
+from repro.psl.diff import diff_rules
+from repro.psl.list import PublicSuffixList
+from repro.psl.parser import parse_psl_file
+from repro.psl.serialize import serialize_rules
+
+INDEX_FILENAME = "index.json"
+
+
+def export_history(store: VersionStore, directory: str) -> int:
+    """Write every version to ``directory``; returns the version count.
+
+    Layout::
+
+        index.json                     # [{index, date, commit, message, file}]
+        0000_2007-03-22.dat
+        0001_2007-04-02.dat
+        …
+    """
+    os.makedirs(directory, exist_ok=True)
+    index: list[dict[str, object]] = []
+    for version in store:
+        filename = f"{version.index:04d}_{version.date.isoformat()}.dat"
+        with open(os.path.join(directory, filename), "w", encoding="utf-8") as handle:
+            handle.write(serialize_rules(store.rules_at(version.index)))
+        index.append(
+            {
+                "index": version.index,
+                "date": version.date.isoformat(),
+                "commit": version.commit,
+                "message": version.message,
+                "file": filename,
+            }
+        )
+    with open(os.path.join(directory, INDEX_FILENAME), "w", encoding="utf-8") as handle:
+        json.dump(index, handle, indent=1)
+    return len(index)
+
+
+def export_patches(store: VersionStore, directory: str) -> int:
+    """Write every version's delta as a ``.patch`` file.
+
+    Far smaller than full ``.dat`` snapshots (each patch holds only the
+    changed rules) and sufficient to rebuild the history given the
+    initial version — the compact interchange variant.
+    """
+    os.makedirs(directory, exist_ok=True)
+    for version in store:
+        filename = f"{version.index:04d}_{version.date.isoformat()}.patch"
+        with open(os.path.join(directory, filename), "w", encoding="utf-8") as handle:
+            handle.write(version.delta.to_patch() + "\n")
+    return len(store)
+
+
+def import_patches(directory: str, *, snapshot_interval: int = 64) -> VersionStore:
+    """Rebuild a store from a patch directory written by
+    :func:`export_patches`."""
+    from repro.psl.diff import RuleDelta
+
+    entries: list[tuple[int, datetime.date, str]] = []
+    for filename in os.listdir(directory):
+        if not filename.endswith(".patch"):
+            continue
+        stem = filename[: -len(".patch")]
+        index_text, _, date_text = stem.partition("_")
+        entries.append((int(index_text), datetime.date.fromisoformat(date_text), filename))
+    entries.sort()
+
+    store = VersionStore(snapshot_interval=snapshot_interval)
+    for _, date, filename in entries:
+        with open(os.path.join(directory, filename), encoding="utf-8") as handle:
+            store.commit(date, RuleDelta.from_patch(handle.read()))
+    return store
+
+
+def import_history(directory: str, *, snapshot_interval: int = 64) -> VersionStore:
+    """Rebuild a :class:`VersionStore` from an exported directory.
+
+    Deltas are recomputed from consecutive file contents; commit hashes
+    therefore re-chain from scratch and match the original store when
+    the content does (the round-trip test asserts this).
+    """
+    index_path = os.path.join(directory, INDEX_FILENAME)
+    with open(index_path, encoding="utf-8") as handle:
+        index = json.load(handle)
+    index.sort(key=lambda entry: entry["index"])
+
+    store = VersionStore(snapshot_interval=snapshot_interval)
+    previous = PublicSuffixList()
+    for entry in index:
+        psl = parse_psl_file(os.path.join(directory, str(entry["file"])))
+        delta = diff_rules(previous, psl)
+        store.commit(
+            datetime.date.fromisoformat(str(entry["date"])),
+            delta,
+            message=str(entry.get("message", "")),
+        )
+        previous = psl
+    return store
+
+
+def import_plain_directory(directory: str, *, snapshot_interval: int = 64) -> VersionStore:
+    """Build a store from a bare directory of dated ``.dat`` files.
+
+    For trees without an index (e.g. hand-collected snapshots), files
+    must be named ``<anything>_YYYY-MM-DD.dat`` or ``YYYY-MM-DD.dat``;
+    they are ingested in date order, skipping files whose rules equal
+    the previous version (the store refuses empty deltas).
+    """
+    dated: list[tuple[datetime.date, str]] = []
+    for filename in os.listdir(directory):
+        if not filename.endswith(".dat"):
+            continue
+        stem = filename[: -len(".dat")]
+        candidate = stem.rsplit("_", 1)[-1]
+        try:
+            date = datetime.date.fromisoformat(candidate)
+        except ValueError:
+            continue
+        dated.append((date, filename))
+    dated.sort()
+
+    store = VersionStore(snapshot_interval=snapshot_interval)
+    previous = PublicSuffixList()
+    for date, filename in dated:
+        psl = parse_psl_file(os.path.join(directory, filename))
+        delta = diff_rules(previous, psl)
+        if not delta:
+            continue
+        store.commit(date, delta, message=f"imported from {filename}")
+        previous = psl
+    return store

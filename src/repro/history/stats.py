@@ -1,0 +1,76 @@
+"""Cadence and churn statistics over a history.
+
+The paper describes the list's release rhythm qualitatively ("a new
+list is published several times each month"); these summaries make the
+synthetic history's rhythm measurable — versions per year, gaps
+between versions, delta sizes — so tests can hold the generator to the
+description and users can compare against a real extracted history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.history.store import VersionStore
+
+
+@dataclass(frozen=True, slots=True)
+class CadenceStats:
+    """Release-rhythm summary of one history."""
+
+    versions: int
+    years: int
+    mean_versions_per_year: float
+    mean_gap_days: float
+    max_gap_days: int
+    versions_per_year: dict[int, int]
+
+
+def cadence(store: VersionStore) -> CadenceStats:
+    """Measure the publishing rhythm."""
+    dates = [version.date for version in store]
+    per_year: dict[int, int] = {}
+    for date in dates:
+        per_year[date.year] = per_year.get(date.year, 0) + 1
+    gaps = [
+        (second - first).days for first, second in zip(dates, dates[1:])
+    ]
+    years = len(per_year)
+    return CadenceStats(
+        versions=len(dates),
+        years=years,
+        mean_versions_per_year=len(dates) / years if years else 0.0,
+        mean_gap_days=sum(gaps) / len(gaps) if gaps else 0.0,
+        max_gap_days=max(gaps, default=0),
+        versions_per_year=per_year,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnStats:
+    """Delta-size summary: how much each version changes."""
+
+    total_added: int
+    total_removed: int
+    mean_delta_size: float
+    largest_delta: int
+
+    @property
+    def net_growth(self) -> int:
+        return self.total_added - self.total_removed
+
+
+def churn(store: VersionStore) -> ChurnStats:
+    """Measure per-version change volume."""
+    added = removed = largest = 0
+    for version in store:
+        added += len(version.delta.added)
+        removed += len(version.delta.removed)
+        largest = max(largest, len(version.delta))
+    count = len(store) or 1
+    return ChurnStats(
+        total_added=added,
+        total_removed=removed,
+        mean_delta_size=(added + removed) / count,
+        largest_delta=largest,
+    )

@@ -1,0 +1,563 @@
+"""Deterministic synthesis of the PSL's 2007-2022 version history.
+
+The generator replays a history whose externally measurable shape
+matches what the paper reports about the real list (Section 3 and
+Figure 2):
+
+* 1,142 versions dated 2007-03-22 through 2022-10-20;
+* 2,447 rules at creation, 8,062 at the start of 2017, 9,368 at the
+  final version;
+* the mid-2012 burst of 1,623 Japanese geographic registrations;
+* a final component mix of ~17% / 57.5% / 25.3% / ~0.1% for rules of
+  one / two / three / four-plus components;
+* the early *wildcard era* — over-broad ``*.cc`` rules later replaced
+  by explicit second-level entries — which produces the early drop in
+  third-party classifications seen in Figure 6;
+* every suffix in the calibrated harm schedule
+  (:mod:`repro.calibrate.suffixes`) added on its calibrated date, which
+  is what makes the Table 2 / Table 3 analyses land on the paper's
+  numbers.
+
+Real rules (TLDs, ccTLD second-level tables, known PRIVATE operators)
+are used wherever the embedded data has them; deterministic filler
+rules make up the difference between the real inventory embedded here
+and the actual list's size.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+from repro.calibrate.ages import all_ages
+from repro.calibrate.suffixes import full_schedule
+from repro.calibrate.words import compound
+from repro.data import cc_second_level, jp_geo, paper, tlds
+from repro.data.private_suffixes import all_known
+from repro.history.store import VersionStore
+from repro.psl.rules import Rule, RuleKind, Section
+
+# Per-year commit budgets; they sum to 1,142 (2007 includes the initial
+# version) and skew later, matching the real repository's cadence.
+_COMMITS_PER_YEAR: dict[int, int] = {
+    2007: 30, 2008: 40, 2009: 50, 2010: 55, 2011: 60, 2012: 70,
+    2013: 80, 2014: 85, 2015: 90, 2016: 90, 2017: 85, 2018: 85,
+    2019: 85, 2020: 80, 2021: 80, 2022: 77,
+}
+
+# Extra second-level labels used to grow ccTLD namespaces beyond the
+# embedded real tables (registries do add categories over time).
+_FILLER_CC_LABELS: tuple[str, ...] = (
+    "info", "biz", "name", "web", "tv", "press", "store", "firm", "nom",
+    "rec", "tm", "asso", "med", "law", "eco", "coop", "mus", "art",
+    "sport", "tech", "agro", "shop", "blog", "wiki", "mobi", "radio",
+    "news", "club", "expo", "fan", "game", "geo", "gold", "idea", "joy",
+    "kid", "land", "life", "map", "meet", "mind", "moto", "nest", "open",
+    "plan", "plus", "pony", "road", "sale", "scan", "seat", "silk",
+    "song", "star", "tape", "team", "tent", "tour", "vote", "wave",
+    "wine", "yoga", "zone", "acad", "bank", "city", "data", "dept",
+    "farm", "fire", "fish", "folk", "food", "fort", "fund", "grad",
+    "hall", "home", "host", "icon", "iris", "jazz", "king", "lake",
+    "lime", "loft", "luna", "mark", "mesh", "mill", "mint", "moon",
+    "oak", "opal", "park", "peak", "pier", "pine", "port", "rail",
+    "reef", "ring", "rose", "ruby", "sage", "sand", "ship", "sky",
+    "snow", "soil", "solo", "spot", "spring", "stone", "sun", "surf",
+    "swan", "tide", "tree", "vale", "view", "vine", "wall", "well",
+    "west", "wind", "wolf", "wood", "yard",
+)
+
+_US_STATES: tuple[str, ...] = (
+    "ak", "al", "ar", "az", "ca", "co", "ct", "dc", "de", "fl", "ga",
+    "hi", "ia", "id", "il", "in", "ks", "ky", "la", "ma", "md", "me",
+    "mi", "mn", "mo", "ms", "mt", "nc", "nd", "ne", "nh", "nj", "nm",
+    "nv", "ny", "oh", "ok", "or", "pa", "ri", "sc", "sd", "tn", "tx",
+    "ut", "va", "vt", "wa", "wi", "wv", "wy",
+)
+
+_COMPONENT_TARGETS = {1: 0.17, 2: 0.575, 3: 0.253}  # remainder is 4+
+
+
+@dataclass(frozen=True, slots=True)
+class SynthesisConfig:
+    """Tunable shape of the synthetic history (defaults = the paper)."""
+
+    seed: int = 20230701
+    version_count: int = paper.HISTORY_VERSION_COUNT
+    first_date: datetime.date = paper.HISTORY_FIRST_DATE
+    last_date: datetime.date = paper.HISTORY_LAST_DATE
+    first_rule_count: int = paper.FIRST_RULE_COUNT
+    rule_count_2017: int = paper.RULE_COUNT_2017
+    final_rule_count: int = paper.FINAL_RULE_COUNT
+    jp_spike_size: int = paper.JP_SPIKE_SIZE
+    snapshot_interval: int = 64
+
+
+@dataclass(slots=True)
+class _Event:
+    """One scheduled rule change.
+
+    ``pinned`` events carry a calibrated date that must become a real
+    version date (the harm analyses measure ages from version dates);
+    unpinned events may drift to the nearest later commit.
+    """
+
+    date: datetime.date
+    rule: Rule
+    remove: bool = False
+    pinned: bool = False
+
+
+@dataclass(slots=True)
+class _Plan:
+    """Accumulated synthesis state."""
+
+    rng: random.Random
+    taken_names: set[str] = field(default_factory=set)
+    initial: list[Rule] = field(default_factory=list)
+    events: list[_Event] = field(default_factory=list)
+
+    def claim(self, name: str) -> bool:
+        """Reserve a rule name; False when it is already in use."""
+        if name in self.taken_names:
+            return False
+        self.taken_names.add(name)
+        return True
+
+    def add_initial(self, rule: Rule) -> None:
+        if self.claim(rule.name if rule.kind is not RuleKind.EXCEPTION else rule.text):
+            self.initial.append(rule)
+
+    def schedule(self, date: datetime.date, rule: Rule, *, remove: bool = False, pinned: bool = False) -> None:
+        if remove:
+            self.events.append(_Event(date, rule, remove=True))
+            return
+        if self.claim(rule.name):
+            self.events.append(_Event(date, rule, pinned=pinned))
+
+
+def _mid_year(year: int, rng: random.Random) -> datetime.date:
+    """A deterministic pseudo-random date inside ``year``."""
+    start = datetime.date(year, 1, 15)
+    return start + datetime.timedelta(days=rng.randint(0, 320))
+
+
+def _build_initial(plan: _Plan, config: SynthesisConfig) -> None:
+    """The 2007 creation commit: TLDs, ccTLD tables, wildcard era."""
+    wildcard_era = set(cc_second_level.WILDCARD_ERA)
+
+    for record in tlds.all_tlds():
+        if record.year >= 2007:
+            continue
+        if record.name in wildcard_era:
+            continue
+        plan.add_initial(Rule.parse(record.name))
+    for cc in wildcard_era:
+        plan.add_initial(Rule.parse(f"*.{cc}"))
+        for label in cc_second_level.WILDCARD_EXCEPTIONS.get(cc, ()):
+            plan.add_initial(Rule.parse(f"!{label}.{cc}"))
+
+    for cc, labels in sorted(cc_second_level.SECOND_LEVEL_SETS.items()):
+        if cc in wildcard_era:
+            continue
+        for label in labels:
+            plan.add_initial(Rule.parse(f"{label}.{cc}"))
+
+    # The real list's original US locality structure (3 components).
+    for state in _US_STATES:
+        for label in ("k12", "cc", "lib"):
+            plan.add_initial(Rule.parse(f"{label}.{state}.us"))
+
+    # Default second-level sets for ccTLDs without an embedded table.
+    covered = set(cc_second_level.SECOND_LEVEL_SETS) | wildcard_era
+    for cc in tlds.country_code_tlds():
+        if len(plan.initial) >= config.first_rule_count:
+            break
+        if cc in covered:
+            continue
+        for label in cc_second_level.FULL_SET:
+            plan.add_initial(Rule.parse(f"{label}.{cc}"))
+
+    # Top up to exactly the paper's creation size with extra labels.
+    ccs = [cc for cc in tlds.country_code_tlds() if cc not in wildcard_era]
+    label_cursor = 0
+    while len(plan.initial) < config.first_rule_count:
+        label = _FILLER_CC_LABELS[label_cursor % len(_FILLER_CC_LABELS)]
+        cc = ccs[(label_cursor // len(_FILLER_CC_LABELS)) % len(ccs)]
+        label_cursor += 1
+        if f"{label}.{cc}" in plan.taken_names:
+            continue
+        plan.add_initial(Rule.parse(f"{label}.{cc}"))
+    del plan.initial[config.first_rule_count :]
+
+
+def _schedule_known_events(plan: _Plan, config: SynthesisConfig) -> None:
+    """Every dated real-world change: wildcard refinements, new TLDs,
+    the JP spike, known private operators, the calibrated schedule."""
+    rng = plan.rng
+
+    # Post-2007 root-zone delegations.
+    for record in tlds.all_tlds():
+        if record.year < 2007:
+            continue
+        plan.schedule(_mid_year(record.year, rng), Rule.parse(record.name))
+
+    # Wildcard-era refinements: drop *.cc, add the explicit table.
+    for cc, year in sorted(cc_second_level.WILDCARD_ERA.items()):
+        if year == 0:
+            continue
+        date = _mid_year(year, rng)
+        plan.schedule(date, Rule.parse(f"*.{cc}"), remove=True)
+        for label in cc_second_level.WILDCARD_EXCEPTIONS.get(cc, ()):
+            plan.schedule(date, Rule.parse(f"!{label}.{cc}"), remove=True)
+        plan.schedule(date, Rule.parse(cc))
+        for label in cc_second_level.SECOND_LEVEL_SETS.get(cc, cc_second_level.FULL_SET):
+            plan.schedule(date, Rule.parse(f"{label}.{cc}"))
+
+    # The mid-2012 Japanese geographic burst: prefecture rules, the
+    # designated-city wildcards with their !city exceptions, and the
+    # long tail of city.prefecture.jp rules.
+    spike_date = datetime.date(paper.JP_SPIKE_YEAR, 6, 20)
+    prefectures = jp_geo.prefecture_suffixes()
+    designated: list[str] = []
+    for city in jp_geo.DESIGNATED_CITIES:
+        designated.append(f"*.{city}.jp")
+        designated.append(f"!city.{city}.jp")
+    city_count = config.jp_spike_size - len(prefectures) - len(designated)
+    cities = jp_geo.city_suffixes(city_count, seed=config.seed)
+    for name in tuple(prefectures) + tuple(designated) + cities:
+        plan.schedule(spike_date, Rule.parse(name))
+
+    # Known PRIVATE-division operators at their eras.
+    for record in all_known():
+        assert record.year is not None
+        date = _mid_year(max(record.year, 2011), rng)
+        plan.schedule(date, Rule.parse(record.suffix, section=Section.PRIVATE))
+
+    # The calibrated harm schedule (drives Tables 2 and 3).  Pinned:
+    # these dates become real version dates so measured list ages equal
+    # the calibrated ages exactly.
+    for suffix in full_schedule(config.seed):
+        plan.schedule(
+            suffix.addition_date,
+            Rule.parse(suffix.suffix, section=suffix.section),
+            pinned=True,
+        )
+
+
+def _component_counts(rules: list[Rule]) -> dict[int, int]:
+    counts = {1: 0, 2: 0, 3: 0, 4: 0}
+    for rule in rules:
+        counts[min(rule.component_count, 4)] += 1
+    return counts
+
+
+def _make_filler_rule(plan: _Plan, components: int, ccs: tuple[str, ...]) -> Rule:
+    """One synthetic rule with the requested component count."""
+    rng = plan.rng
+    for _ in range(200):
+        if components == 1:
+            # New-gTLD-program filler: dictionary-ish or IDN-looking.
+            if rng.random() < 0.35:
+                name = "xn--" + "".join(rng.choice("abcdefghij0123456789") for _ in range(rng.randint(5, 9)))
+            else:
+                name = compound(rng)
+        elif components == 2:
+            if rng.random() < 0.55:
+                name = f"{rng.choice(_FILLER_CC_LABELS)}.{rng.choice(ccs)}"
+            else:
+                tld = rng.choice(("com", "net", "org", "io", "co", "app", "dev", "cloud", "site"))
+                name = f"{compound(rng)}.{tld}"
+        else:
+            base = rng.choice(("no", "it", "pl", "tr", "in", "th", "us", "au"))
+            second = rng.choice(_FILLER_CC_LABELS)
+            name = f"{compound(rng)}.{second}.{base}"
+        if plan.claim(name):
+            section = Section.PRIVATE if components == 2 and name.split(".")[-1] in ("com", "net", "org", "io", "co", "app", "dev", "cloud", "site") else Section.ICANN
+            return Rule.parse(name, section=section)
+    raise RuntimeError("filler namespace exhausted")
+
+
+def _schedule_filler(plan: _Plan, config: SynthesisConfig) -> None:
+    """Filler additions sized so the checkpoints and final component
+    mix land on the paper's numbers, plus balancing removals in the
+    2017-2022 era."""
+    rng = plan.rng
+    boundary_2017 = datetime.date(2017, 1, 1)
+
+    current: list[Rule] = list(plan.initial)
+    net_pre2017 = 0
+    net_post2017 = 0
+    for event in plan.events:
+        delta = -1 if event.remove else 1
+        if event.date < boundary_2017:
+            net_pre2017 += delta
+        else:
+            net_post2017 += delta
+        if event.remove:
+            current = [rule for rule in current if rule.text != event.rule.text]
+        else:
+            current.append(event.rule)
+
+    known_final = len(plan.initial) + net_pre2017 + net_post2017
+    filler_total = config.final_rule_count - known_final
+    if filler_total < 0:
+        raise ValueError("known inventory already exceeds the final rule count")
+
+    # Component-mix shortfall determines the filler's composition.
+    counts = _component_counts(current)
+    needed: dict[int, int] = {}
+    for components, share in _COMPONENT_TARGETS.items():
+        target = round(config.final_rule_count * share)
+        needed[components] = max(0, target - counts[components])
+    overshoot = sum(needed.values()) - filler_total
+    if overshoot > 0:
+        needed[2] = max(0, needed[2] - overshoot)  # 2-comp absorbs drift
+    elif overshoot < 0:
+        needed[2] += -overshoot
+
+    # Filler is placed before 2017; the post-2017 era is fully "known"
+    # (the calibrated schedule), so the 2017 checkpoint fixes how many
+    # removals balance the books.
+    filler_pre2017 = config.rule_count_2017 - len(plan.initial) - net_pre2017
+    if filler_pre2017 < 0:
+        raise ValueError("known pre-2017 inventory already exceeds the 2017 checkpoint")
+    if filler_pre2017 > filler_total:
+        # The 2017 checkpoint needs more pre-2017 rules than the final
+        # count leaves room for; mint extra two-component filler and
+        # retire the surplus across 2017-2022 (net zero on the final
+        # count and on the component mix).
+        deficit = filler_pre2017 - filler_total
+        needed[2] += deficit
+        filler_total += deficit
+    removals_post2017 = (config.rule_count_2017 + (filler_total - filler_pre2017) + net_post2017) - config.final_rule_count
+    if removals_post2017 < 0:
+        raise ValueError("post-2017 era needs additions the plan does not model")
+
+    ccs = tuple(cc for cc in tlds.country_code_tlds() if cc not in cc_second_level.WILDCARD_ERA)
+
+    def filler_date(pre2017: bool, components: int) -> datetime.date:
+        if not pre2017:
+            return datetime.date(rng.randint(2017, 2021), rng.randint(1, 12), rng.randint(1, 28))
+        if components == 1:
+            # New-gTLD filler belongs to the 2013-2016 program era.
+            year = rng.choice((2013, 2014, 2014, 2015, 2015, 2016))
+        else:
+            year = rng.choice((2008, 2009, 2010, 2011, 2012, 2013, 2013, 2014, 2014, 2015, 2015, 2016, 2016))
+        return datetime.date(year, rng.randint(1, 12), rng.randint(1, 28))
+
+    filler_rules: list[tuple[int, Rule]] = []
+    for components, count in sorted(needed.items()):
+        for _ in range(count):
+            filler_rules.append((components, _make_filler_rule(plan, components, ccs)))
+    rng.shuffle(filler_rules)
+
+    pre_quota = filler_pre2017
+    removable_pool: list[Rule] = []
+    for components, rule in filler_rules:
+        pre2017 = pre_quota > 0
+        if pre2017:
+            pre_quota -= 1
+        date = filler_date(pre2017, components)
+        plan.events.append(_Event(date, rule))
+        if pre2017 and components == 2:
+            removable_pool.append(rule)
+
+    # Balancing removals: retire old filler rules across 2017-2022.
+    rng.shuffle(removable_pool)
+    if removals_post2017 > len(removable_pool):
+        raise ValueError("not enough retirable filler rules for balancing removals")
+    for position in range(removals_post2017):
+        year = 2017 + position % 6
+        date = datetime.date(year, rng.randint(1, 12), rng.randint(1, 28))
+        plan.events.append(_Event(date, removable_pool[position], remove=True))
+
+    # Churn: short-lived rules added and removed within 2017-2022.  Net
+    # zero on every checkpoint and on the final mix, but they give the
+    # bucketing pass movable events in the otherwise fully-pinned
+    # post-2017 era (version dates there must cover every calibrated
+    # suffix date *and* every studied repository's vendoring date).
+    for _ in range(120):
+        rule = _make_filler_rule(plan, 2, ccs)
+        add_year = rng.randint(2017, 2020)
+        added = datetime.date(add_year, rng.randint(1, 12), rng.randint(1, 28))
+        removed = added + datetime.timedelta(days=rng.randint(120, 600))
+        if removed >= datetime.date(2022, 10, 1):
+            removed = datetime.date(2022, 9, rng.randint(1, 28))
+        plan.events.append(_Event(added, rule))
+        plan.events.append(_Event(removed, rule, remove=True))
+
+
+def _version_dates(
+    config: SynthesisConfig,
+    rng: random.Random,
+    required: set[datetime.date],
+    candidates: set[datetime.date],
+) -> list[datetime.date]:
+    """The 1,142 commit dates.
+
+    Every date in ``required`` (the calibrated schedule, plus the
+    history's endpoints) becomes a version date.  The remaining budget
+    is drawn from ``candidates`` — the distinct dates of unpinned
+    events — so that (almost) every version has at least one event to
+    commit; per-year commit budgets steer the cadence toward the real
+    repository's (sparser early, denser later), yielding where a year
+    simply has too few events.
+    """
+    required = set(required)
+    required.add(config.first_date)
+    required.add(config.last_date)
+    if min(required) < config.first_date or max(required) > config.last_date:
+        raise ValueError("required commit dates fall outside the history span")
+
+    dates: set[datetime.date] = set(required)
+    budget = config.version_count - len(dates)
+    if budget < 0:
+        raise ValueError("more required dates than the version budget allows")
+
+    pool_by_year: dict[int, list[datetime.date]] = {year: [] for year in _COMMITS_PER_YEAR}
+    for date in sorted(candidates - dates):
+        if date.year in pool_by_year and config.first_date < date < config.last_date:
+            pool_by_year[date.year].append(date)
+
+    required_per_year: dict[int, int] = {}
+    for date in dates:
+        required_per_year[date.year] = required_per_year.get(date.year, 0) + 1
+
+    # First pass: honour each year's budget as far as its events allow.
+    for year in sorted(_COMMITS_PER_YEAR):
+        if budget == 0:
+            break
+        room = _COMMITS_PER_YEAR[year] - required_per_year.get(year, 0)
+        take = max(0, min(room, len(pool_by_year[year]), budget))
+        if take:
+            chosen = rng.sample(pool_by_year[year], take)
+            dates.update(chosen)
+            pool_by_year[year] = [d for d in pool_by_year[year] if d not in set(chosen)]
+            budget -= take
+
+    # Second pass: years with leftover event dates absorb the rest.
+    for year in sorted(_COMMITS_PER_YEAR, key=lambda y: len(pool_by_year[y]), reverse=True):
+        if budget == 0:
+            break
+        take = min(len(pool_by_year[year]), budget)
+        if take:
+            dates.update(rng.sample(pool_by_year[year], take))
+            budget -= take
+
+    if budget > 0:
+        raise RuntimeError(f"not enough event dates to mint {budget} more versions")
+    return sorted(dates)
+
+
+def synthesize_history(config: SynthesisConfig | None = None) -> VersionStore:
+    """Build the full synthetic history.
+
+    Deterministic for a given config; the result satisfies the paper's
+    checkpoints exactly (tests assert them).
+    """
+    config = config or SynthesisConfig()
+    rng = random.Random(config.seed)
+    plan = _Plan(rng=rng)
+
+    _build_initial(plan, config)
+    _schedule_known_events(plan, config)
+    _schedule_filler(plan, config)
+
+    # The final version must change the rule set: retarget one movable
+    # event (a late filler removal) onto the last date.
+    movable_late = [
+        event for event in plan.events
+        if not event.pinned and event.date.year >= 2022 and event.date < config.last_date
+    ]
+    if movable_late:
+        movable_late[-1].date = config.last_date
+
+    plan.events.sort(key=lambda event: (event.date, event.remove, event.rule.text))
+    required_dates = {event.date for event in plan.events if event.pinned}
+    # Every studied repository's vendoring date must also be a version
+    # date, so that dating a vendored list recovers the calibrated age
+    # exactly (ages younger than the last version vend the last version).
+    for age in all_ages():
+        vendor_date = paper.MEASUREMENT_DATE - datetime.timedelta(days=age)
+        if config.first_date <= vendor_date <= config.last_date:
+            required_dates.add(vendor_date)
+    candidate_dates = {event.date for event in plan.events if not event.pinned}
+    dates = _version_dates(config, rng, required_dates, candidate_dates)
+    if len(dates) != config.version_count:
+        raise RuntimeError(f"generated {len(dates)} version dates, wanted {config.version_count}")
+
+    store = VersionStore(snapshot_interval=config.snapshot_interval)
+    store.commit_rules(dates[0], added=plan.initial, message="initial import")
+
+    # Bucket events by version date: version i takes events dated after
+    # version i-1 and at or before version i.
+    buckets: list[list[_Event]] = [[] for _ in dates]
+    cursor = 0
+    events = plan.events
+    for index in range(1, len(dates)):
+        while cursor < len(events) and events[cursor].date <= dates[index]:
+            buckets[index].append(events[cursor])
+            cursor += 1
+    if cursor < len(events):
+        buckets[-1].extend(events[cursor:])
+
+    # Every version must change the rule set (the paper's "versions"
+    # are rule-changing commits): borrow one movable event from another
+    # bucket.  Pinned events never move (their commit date is what the
+    # harm analyses measure ages from); a removal may move only to a
+    # date after its rule's addition.
+    addition_date: dict[str, datetime.date] = {}
+    removal_date: dict[str, datetime.date] = {}
+    for event in plan.events:
+        if event.remove:
+            removal_date.setdefault(event.rule.text, event.date)
+        else:
+            addition_date.setdefault(event.rule.text, event.date)
+
+    def movable(bucket: list[_Event], target: datetime.date) -> int | None:
+        for position in range(len(bucket) - 1, -1, -1):
+            event = bucket[position]
+            if event.pinned:
+                continue
+            if event.remove:
+                added_on = addition_date.get(event.rule.text)
+                if added_on is None or target <= added_on:
+                    continue
+            else:
+                removed_on = removal_date.get(event.rule.text)
+                if removed_on is not None and target >= removed_on:
+                    continue
+            return position
+        return None
+
+    boundary = datetime.date(2017, 1, 1)
+    for index in range(1, len(dates)):
+        if buckets[index]:
+            continue
+        for donor in list(range(index + 1, len(dates))) + list(range(index - 1, 0, -1)):
+            if len(buckets[donor]) < 2:
+                continue
+            # Moving an event across the 2017 boundary would disturb
+            # the rule-count checkpoint the filler sizing relies on.
+            if (dates[donor] < boundary) != (dates[index] < boundary):
+                continue
+            position = movable(buckets[donor], dates[index])
+            if position is None:
+                continue
+            event = buckets[donor].pop(position)
+            buckets[index].append(event)
+            # Keep the guard maps accurate for later moves.
+            if event.remove:
+                removal_date[event.rule.text] = dates[index]
+            else:
+                addition_date[event.rule.text] = dates[index]
+            break
+        else:
+            raise RuntimeError("cannot fill an empty version")
+
+    for index in range(1, len(dates)):
+        added = [event.rule for event in buckets[index] if not event.remove]
+        removed = [event.rule for event in buckets[index] if event.remove]
+        store.commit_rules(dates[index], added=added, removed=removed)
+    return store

@@ -1,0 +1,10 @@
+"""Offline IANA Root Zone Database (paper Section 3).
+
+Used to label PSL suffix entries by the category of their top-level
+domain: generic, country-code, sponsored, or infrastructure (plus
+generic-restricted and test, which the root zone also distinguishes).
+"""
+
+from repro.iana.rootzone import RootZoneDatabase, TldCategory
+
+__all__ = ["RootZoneDatabase", "TldCategory"]

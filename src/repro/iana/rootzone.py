@@ -1,0 +1,76 @@
+"""Root-zone lookups and suffix categorization.
+
+The database is built from the embedded real TLD inventory
+(:mod:`repro.data.tlds`).  Suffix rules whose TLD is not in the root
+zone — synthetic filler gTLDs in the synthetic history, or simply
+unknown strings — are labelled :attr:`TldCategory.GENERIC` when they
+look like new-program delegations and reported as unknown otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.data.tlds import TldCategory, TldRecord, all_tlds
+from repro.psl.rules import Rule, Section
+
+
+class RootZoneDatabase:
+    """Lookup table from TLD label to its IANA category.
+
+    >>> db = RootZoneDatabase()
+    >>> db.category_of_tld('uk')
+    <TldCategory.COUNTRY_CODE: 'country-code'>
+    >>> db.category_of_tld('arpa')
+    <TldCategory.INFRASTRUCTURE: 'infrastructure'>
+    """
+
+    def __init__(self, records: tuple[TldRecord, ...] | None = None) -> None:
+        self._records: dict[str, TldRecord] = {}
+        for record in records if records is not None else all_tlds():
+            self._records[record.name] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, tld: str) -> bool:
+        return tld.lower() in self._records
+
+    def record(self, tld: str) -> TldRecord | None:
+        """The full record for a TLD label, or None if not delegated."""
+        return self._records.get(tld.lower())
+
+    def category_of_tld(self, tld: str) -> TldCategory | None:
+        """The IANA category of a TLD label, or None if unknown.
+
+        Punycoded labels (``xn--…``) that are not in the embedded
+        inventory are treated as country-code internationalized
+        delegations, which is what almost all real ``xn--`` TLDs are.
+        """
+        record = self._records.get(tld.lower())
+        if record is not None:
+            return record.category
+        if tld.lower().startswith("xn--"):
+            return TldCategory.COUNTRY_CODE
+        return None
+
+    def categorize_rule(self, rule: Rule) -> str:
+        """The paper's suffix categorization.
+
+        PRIVATE-division rules are "private domains"; ICANN-division
+        rules are labelled by their TLD's root-zone category, with
+        ``generic`` as the fallback for synthetic delegations.
+        """
+        if rule.section is Section.PRIVATE:
+            return "private"
+        tld = rule.labels[0]
+        category = self.category_of_tld(tld)
+        if category is None:
+            category = TldCategory.GENERIC
+        return category.value
+
+    def category_histogram(self, rules: tuple[Rule, ...] | list[Rule]) -> dict[str, int]:
+        """Count rules per category label."""
+        histogram: dict[str, int] = {}
+        for rule in rules:
+            label = self.categorize_rule(rule)
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram

@@ -1,0 +1,32 @@
+"""Network-name primitives: hostnames, domain labels, and URLs.
+
+These are the low-level building blocks shared by the PSL engine, the
+web-traffic substrate, and the privacy demonstrators.  They implement the
+subset of RFC 952 / RFC 1123 / RFC 3986 needed to interpret hostnames in
+crawl data the way a browser's network stack would.
+"""
+
+from repro.net.errors import HostnameError, UrlError
+from repro.net.hostname import (
+    Hostname,
+    is_ip_literal,
+    join_labels,
+    normalize_hostname,
+    split_labels,
+    validate_label,
+)
+from repro.net.url import Url, host_of, parse_url
+
+__all__ = [
+    "Hostname",
+    "HostnameError",
+    "Url",
+    "UrlError",
+    "host_of",
+    "is_ip_literal",
+    "join_labels",
+    "normalize_hostname",
+    "parse_url",
+    "split_labels",
+    "validate_label",
+]

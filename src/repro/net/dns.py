@@ -1,0 +1,195 @@
+"""A miniature DNS: zones, records, and a caching stub resolver.
+
+The paper's future-work direction (DBOUND) and one of its named use
+cases (DMARC) both live in the DNS, so the reproduction carries a real
+— if small — DNS model rather than ad-hoc dictionaries:
+
+* record types: A, TXT, CNAME (the set the privacy modules need);
+* :class:`Zone` — authoritative data for one apex, with CNAME/other
+  coexistence rules enforced at insert time;
+* :class:`Nameserver` — routes queries to the longest-matching zone;
+* :class:`StubResolver` — chases CNAME chains, caches positive and
+  negative answers by TTL against an injectable clock.
+
+Deterministic: the clock is a counter the caller advances, never wall
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class RecordType(enum.Enum):
+    """Supported record types."""
+
+    A = "A"
+    TXT = "TXT"
+    CNAME = "CNAME"
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """One DNS resource record."""
+
+    name: str
+    rtype: RecordType
+    data: str
+    ttl: int = 300
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower().rstrip("."))
+        if self.ttl < 0:
+            raise ValueError("negative TTL")
+
+
+class ZoneError(ValueError):
+    """Raised for authoritative-data violations."""
+
+
+class Zone:
+    """Authoritative records under one apex name.
+
+    The empty apex (``Zone("")``) is the root: every name is in-zone.
+    """
+
+    def __init__(self, apex: str) -> None:
+        self.apex = apex.lower().rstrip(".")
+        self._records: dict[tuple[str, RecordType], list[ResourceRecord]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(rrset) for rrset in self._records.values())
+
+    def _in_zone(self, name: str) -> bool:
+        if not self.apex:
+            return True
+        return name == self.apex or name.endswith("." + self.apex)
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add a record, enforcing CNAME exclusivity (RFC 1034 §3.6.2)."""
+        if not self._in_zone(record.name):
+            raise ZoneError(f"{record.name!r} is outside zone {self.apex!r}")
+        existing_types = {rtype for (name, rtype) in self._records if name == record.name}
+        if record.rtype is RecordType.CNAME and existing_types:
+            raise ZoneError(f"CNAME at {record.name!r} cannot coexist with other records")
+        if RecordType.CNAME in existing_types:
+            raise ZoneError(f"{record.name!r} already holds a CNAME")
+        self._records.setdefault((record.name, record.rtype), []).append(record)
+
+    def lookup(self, name: str, rtype: RecordType) -> list[ResourceRecord]:
+        """Records of one type at one name (empty when absent)."""
+        return list(self._records.get((name.lower().rstrip("."), rtype), []))
+
+    def names(self) -> set[str]:
+        """Every owner name in the zone."""
+        return {name for (name, _) in self._records}
+
+
+@dataclass(frozen=True, slots=True)
+class Answer:
+    """A resolver answer."""
+
+    name: str
+    rtype: RecordType
+    records: tuple[ResourceRecord, ...]
+    cname_chain: tuple[str, ...] = ()
+    from_cache: bool = False
+
+    @property
+    def exists(self) -> bool:
+        return bool(self.records)
+
+    def texts(self) -> list[str]:
+        """The record payloads."""
+        return [record.data for record in self.records]
+
+
+class Nameserver:
+    """Routes queries to the longest-matching authoritative zone."""
+
+    def __init__(self, zones: Iterable[Zone] = ()) -> None:
+        self._zones: dict[str, Zone] = {}
+        for zone in zones:
+            self.attach(zone)
+
+    def attach(self, zone: Zone) -> None:
+        if zone.apex in self._zones:
+            raise ZoneError(f"duplicate zone {zone.apex!r}")
+        self._zones[zone.apex] = zone
+
+    def zone_for(self, name: str) -> Zone | None:
+        """The most specific zone containing ``name``."""
+        candidate = name.lower().rstrip(".")
+        while candidate:
+            if candidate in self._zones:
+                return self._zones[candidate]
+            _, _, candidate = candidate.partition(".")
+        return self._zones.get("")  # a root zone catches everything
+
+    def query(self, name: str, rtype: RecordType) -> list[ResourceRecord]:
+        """Authoritative lookup (no CNAME chasing)."""
+        zone = self.zone_for(name)
+        if zone is None:
+            return []
+        return zone.lookup(name, rtype)
+
+
+@dataclass(slots=True)
+class _CacheEntry:
+    records: tuple[ResourceRecord, ...]
+    expires_at: int
+
+
+class StubResolver:
+    """CNAME-chasing resolver with TTL-bounded positive/negative cache."""
+
+    MAX_CNAME_DEPTH = 8
+    NEGATIVE_TTL = 60
+
+    def __init__(self, nameserver: Nameserver) -> None:
+        self._nameserver = nameserver
+        self._cache: dict[tuple[str, RecordType], _CacheEntry] = {}
+        self._clock = 0
+        self.upstream_queries = 0
+
+    def advance_clock(self, seconds: int) -> None:
+        """Move deterministic time forward (expires cache entries)."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._clock += seconds
+
+    def _cached(self, key: tuple[str, RecordType]) -> "tuple[ResourceRecord, ...] | None":
+        entry = self._cache.get(key)
+        if entry is None or entry.expires_at <= self._clock:
+            return None
+        return entry.records
+
+    def resolve(self, name: str, rtype: RecordType) -> Answer:
+        """Resolve ``name``/``rtype``, following CNAMEs."""
+        name = name.lower().rstrip(".")
+        chain: list[str] = []
+        current = name
+        for _ in range(self.MAX_CNAME_DEPTH + 1):
+            key = (current, rtype)
+            cached = self._cached(key)
+            if cached is not None:
+                return Answer(name, rtype, cached, tuple(chain), from_cache=True)
+
+            self.upstream_queries += 1
+            records = tuple(self._nameserver.query(current, rtype))
+            if records:
+                ttl = min(record.ttl for record in records)
+                self._cache[key] = _CacheEntry(records, self._clock + ttl)
+                return Answer(name, rtype, records, tuple(chain))
+
+            cnames = self._nameserver.query(current, RecordType.CNAME)
+            if cnames and rtype is not RecordType.CNAME:
+                chain.append(cnames[0].data.lower().rstrip("."))
+                current = chain[-1]
+                continue
+
+            self._cache[key] = _CacheEntry((), self._clock + self.NEGATIVE_TTL)
+            return Answer(name, rtype, (), tuple(chain))
+        return Answer(name, rtype, (), tuple(chain))  # CNAME loop: treat as NXDOMAIN

@@ -1,0 +1,26 @@
+"""Exception types raised by :mod:`repro.net`."""
+
+
+class NetError(ValueError):
+    """Base class for all errors raised by the network-name primitives."""
+
+
+class HostnameError(NetError):
+    """Raised when a string cannot be interpreted as a valid hostname.
+
+    The offending input is available as :attr:`value`.
+    """
+
+    def __init__(self, value: str, reason: str) -> None:
+        self.value = value
+        self.reason = reason
+        super().__init__(f"invalid hostname {value!r}: {reason}")
+
+
+class UrlError(NetError):
+    """Raised when a string cannot be interpreted as a URL."""
+
+    def __init__(self, value: str, reason: str) -> None:
+        self.value = value
+        self.reason = reason
+        super().__init__(f"invalid URL {value!r}: {reason}")

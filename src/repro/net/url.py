@@ -1,0 +1,121 @@
+"""A small, strict URL parser.
+
+The paper's pipeline only needs the authority (hostname) component of
+crawl URLs — step 1 of its methodology is "strip each URL to the domain
+name component" — but a real library also needs scheme, port, path and
+query to classify requests and model pages.  This module implements the
+subset of RFC 3986 required for that, without pulling in ``urllib``
+semantics that differ from what browsers record in crawl datasets
+(e.g. ``urllib`` happily parses schemeless strings as paths).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.net.errors import UrlError
+from repro.net.hostname import Hostname, is_ip_literal
+
+DEFAULT_PORTS = {"http": 80, "https": 443, "ws": 80, "wss": 443, "ftp": 21}
+
+_URL_RE = re.compile(
+    r"^(?P<scheme>[a-zA-Z][a-zA-Z0-9+.-]*)://"
+    r"(?:(?P<userinfo>[^@/?#]*)@)?"
+    r"(?P<host>\[[0-9a-fA-F:.]+\]|[^:/?#]*)"
+    r"(?::(?P<port>\d*))?"
+    r"(?P<path>/[^?#]*)?"
+    r"(?:\?(?P<query>[^#]*))?"
+    r"(?:#(?P<fragment>.*))?$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Url:
+    """A parsed absolute URL.
+
+    ``host`` is ``None`` only for IP-literal authorities, which carry the
+    raw literal in ``ip_literal`` instead; PSL grouping does not apply to
+    them.
+    """
+
+    scheme: str
+    host: Hostname | None
+    port: int
+    path: str
+    query: str
+    ip_literal: str | None = None
+
+    @property
+    def hostname(self) -> str:
+        """The authority host as a string (hostname or IP literal)."""
+        if self.host is not None:
+            return self.host.name
+        assert self.ip_literal is not None
+        return self.ip_literal
+
+    @property
+    def origin(self) -> str:
+        """The RFC 6454 origin serialization (scheme://host[:port])."""
+        default = DEFAULT_PORTS.get(self.scheme)
+        if self.port == default:
+            return f"{self.scheme}://{self.hostname}"
+        return f"{self.scheme}://{self.hostname}:{self.port}"
+
+    @property
+    def is_secure(self) -> bool:
+        """True for schemes carried over TLS."""
+        return self.scheme in ("https", "wss")
+
+    def __str__(self) -> str:
+        url = self.origin + self.path
+        if self.query:
+            url += "?" + self.query
+        return url
+
+
+def parse_url(value: str) -> Url:
+    """Parse an absolute URL string into a :class:`Url`.
+
+    Raises :class:`UrlError` for relative references, unknown-port
+    overflow, or invalid hostnames.
+
+    >>> parse_url("https://WWW.Example.com/a?b=c").host.name
+    'www.example.com'
+    """
+    text = value.strip()
+    match = _URL_RE.match(text)
+    if not match:
+        raise UrlError(value, "not an absolute URL")
+    scheme = match.group("scheme").lower()
+    raw_host = match.group("host")
+    if not raw_host:
+        raise UrlError(value, "empty host")
+
+    raw_port = match.group("port")
+    if raw_port:
+        port = int(raw_port)
+        if port > 65535:
+            raise UrlError(value, f"port {port} out of range")
+    else:
+        port = DEFAULT_PORTS.get(scheme, 0)
+
+    path = match.group("path") or "/"
+    query = match.group("query") or ""
+
+    if is_ip_literal(raw_host):
+        return Url(scheme, None, port, path, query, ip_literal=raw_host.lower())
+    try:
+        host = Hostname(raw_host)
+    except ValueError as exc:
+        raise UrlError(value, str(exc)) from exc
+    return Url(scheme, host, port, path, query)
+
+
+def host_of(value: str) -> str:
+    """Step 1 of the paper's methodology: strip a URL to its hostname.
+
+    >>> host_of("https://www.example.com/page.html")
+    'www.example.com'
+    """
+    return parse_url(value).hostname

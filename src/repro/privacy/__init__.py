@@ -1,0 +1,43 @@
+"""Privacy-harm demonstrators.
+
+Section 2 of the paper explains *why* an outdated PSL is harmful
+through two concrete mechanisms — cross-site cookie access and
+password-manager autofill across organizations.  This package
+implements both mechanisms against a pluggable
+:class:`~repro.psl.list.PublicSuffixList`, plus a tracking simulator
+that quantifies state leakage between two list versions:
+
+* :mod:`repro.privacy.cookies` — an RFC 6265-style cookie jar whose
+  domain-matching consults the PSL (rejecting "supercookies" set on
+  public suffixes);
+* :mod:`repro.privacy.autofill` — the password-manager autofill
+  decision of the paper's Figure 1 scenario;
+* :mod:`repro.privacy.tracking` — replays browsing traces under two
+  list versions and reports which cross-organization state flows the
+  outdated list permits;
+* :mod:`repro.privacy.dmarc` — DMARC organizational-domain discovery
+  (RFC 7489), another PSL consumer the paper names;
+* :mod:`repro.privacy.certs` — wildcard-certificate issuance and
+  hostname matching with PSL boundary checks.
+"""
+
+from repro.privacy.autofill import AutofillEngine, Credential
+from repro.privacy.certs import check_issuance, matches_certificate
+from repro.privacy.cookies import Cookie, CookieJar, SuperCookieError
+from repro.privacy.dmarc import TxtZone, discover_policy, organizational_domain
+from repro.privacy.tracking import Leak, TrackingSimulator
+
+__all__ = [
+    "AutofillEngine",
+    "Cookie",
+    "CookieJar",
+    "Credential",
+    "Leak",
+    "SuperCookieError",
+    "TrackingSimulator",
+    "TxtZone",
+    "check_issuance",
+    "discover_policy",
+    "matches_certificate",
+    "organizational_domain",
+]

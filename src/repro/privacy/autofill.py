@@ -1,0 +1,96 @@
+"""Password-manager autofill decisions.
+
+The paper's Section 2 scenario: a password manager stores credentials
+for ``good.example.co.uk`` and must decide whether to offer them on
+``bad.example.co.uk``.  Real managers offer credentials across hosts
+of the same *site* (eTLD+1), so the decision hinges entirely on the
+PSL version in use — exactly the harm the *bitwarden* finding in the
+paper's Table 3 implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.psl.list import PublicSuffixList
+
+
+@dataclass(frozen=True, slots=True)
+class Credential:
+    """A stored login."""
+
+    origin_host: str
+    username: str
+    secret: str = field(repr=False, default="")
+
+
+@dataclass(frozen=True, slots=True)
+class AutofillDecision:
+    """The engine's verdict for one (credential, visited host) pair."""
+
+    credential: Credential
+    visited_host: str
+    offered: bool
+    reason: str
+
+
+class AutofillEngine:
+    """Same-site credential matching against a pluggable PSL."""
+
+    def __init__(self, psl: PublicSuffixList) -> None:
+        self._psl = psl
+        self._vault: list[Credential] = []
+
+    def save(self, credential: Credential) -> None:
+        """Store a credential."""
+        self._vault.append(credential)
+
+    def decisions_for(self, visited_host: str) -> list[AutofillDecision]:
+        """Evaluate every stored credential against ``visited_host``."""
+        decisions: list[AutofillDecision] = []
+        for credential in self._vault:
+            same_site = self._psl.same_site(credential.origin_host, visited_host)
+            if credential.origin_host == visited_host:
+                reason = "exact host match"
+            elif same_site:
+                site = self._psl.site_of(visited_host)
+                reason = f"same site ({site})"
+            else:
+                reason = (
+                    f"different sites ({self._psl.site_of(credential.origin_host)} vs. "
+                    f"{self._psl.site_of(visited_host)})"
+                )
+            decisions.append(
+                AutofillDecision(
+                    credential=credential,
+                    visited_host=visited_host,
+                    offered=same_site,
+                    reason=reason,
+                )
+            )
+        return decisions
+
+    def offers_for(self, visited_host: str) -> list[Credential]:
+        """Credentials the manager would offer on ``visited_host``."""
+        return [
+            decision.credential
+            for decision in self.decisions_for(visited_host)
+            if decision.offered
+        ]
+
+
+def cross_organization_offers(
+    outdated: PublicSuffixList,
+    current: PublicSuffixList,
+    credential_host: str,
+    visited_host: str,
+) -> bool:
+    """True when only the outdated list would offer the credential.
+
+    This is the paper's Figure 1 harm predicate: the current list
+    separates the two hosts into different sites, but the outdated
+    list — missing the relevant suffix rule — does not.
+    """
+    outdated_offers = outdated.same_site(credential_host, visited_host)
+    current_offers = current.same_site(credential_host, visited_host)
+    return outdated_offers and not current_offers

@@ -1,0 +1,154 @@
+"""A miniature browser storage stack.
+
+Figure 1's harm is ultimately about *browser state*: which pages can
+read which cookies and storage.  This module assembles the privacy
+demonstrators into one navigable browser:
+
+* storage (cookies via the PSL-aware jar, localStorage keyed by site);
+* a navigation log with third-party subresource accounting;
+* an identifier-leak audit: which distinct sites observed the same
+  storage partition during a session.
+
+Swap the PSL version and replay the same session to see exactly what
+an outdated list leaks — the executable version of the paper's
+Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.privacy.cookies import CookieJar, SuperCookieError
+from repro.psl.list import PublicSuffixList
+
+
+@dataclass(frozen=True, slots=True)
+class Visit:
+    """One page load with its subresource requests."""
+
+    page_host: str
+    request_hosts: tuple[str, ...]
+    third_party_requests: int
+
+
+class Browser:
+    """Site-partitioned state plus PSL-driven access decisions."""
+
+    def __init__(self, psl: PublicSuffixList) -> None:
+        self._psl = psl
+        self.cookies = CookieJar(psl)
+        self._local_storage: dict[str, dict[str, str]] = {}
+        self._log: list[Visit] = []
+
+    # -- storage ---------------------------------------------------------
+
+    def storage_for(self, host: str) -> dict[str, str]:
+        """The localStorage partition a page on ``host`` sees.
+
+        Partitions are keyed by site: two hosts share storage iff the
+        PSL puts them in one site — the exact decision that goes wrong
+        under an outdated list.
+        """
+        site = self._psl.site_of(host)
+        return self._local_storage.setdefault(site, {})
+
+    def set_item(self, host: str, key: str, value: str) -> None:
+        """``localStorage.setItem`` from a page on ``host``."""
+        self.storage_for(host)[key] = value
+
+    def get_item(self, host: str, key: str) -> str | None:
+        """``localStorage.getItem`` from a page on ``host``."""
+        return self.storage_for(host).get(key)
+
+    # -- navigation ---------------------------------------------------------
+
+    def navigate(self, page_host: str, request_hosts: tuple[str, ...] = ()) -> Visit:
+        """Load a page; classify its subresources; log the visit."""
+        page_site = self._psl.site_of(page_host)
+        third_party = sum(
+            1 for host in request_hosts if self._psl.site_of(host) != page_site
+        )
+        visit = Visit(
+            page_host=page_host,
+            request_hosts=tuple(request_hosts),
+            third_party_requests=third_party,
+        )
+        self._log.append(visit)
+        return visit
+
+    @property
+    def history(self) -> tuple[Visit, ...]:
+        return tuple(self._log)
+
+    # -- auditing ----------------------------------------------------------------
+
+    def partitions_observed(self) -> dict[str, tuple[str, ...]]:
+        """Storage partition -> the distinct page hosts that used it.
+
+        A partition observed by hosts that the *current* list considers
+        one organization is fine; the leak check compares against a
+        reference list.
+        """
+        observed: dict[str, set[str]] = {}
+        for visit in self._log:
+            site = self._psl.site_of(visit.page_host)
+            observed.setdefault(site, set()).add(visit.page_host)
+        return {site: tuple(sorted(hosts)) for site, hosts in observed.items()}
+
+    def identifier_leaks(self, reference: PublicSuffixList) -> list[tuple[str, str, str]]:
+        """(partition, host A, host B) triples sharing state that the
+        reference list separates — concrete cross-organization
+        identifier flows this browser's list permitted."""
+        leaks: list[tuple[str, str, str]] = []
+        for site, hosts in self.partitions_observed().items():
+            for position, first in enumerate(hosts):
+                for second in hosts[position + 1 :]:
+                    if reference.site_of(first) != reference.site_of(second):
+                        leaks.append((site, first, second))
+        return leaks
+
+
+@dataclass(frozen=True, slots=True)
+class SessionComparison:
+    """Replay outcome under two list versions."""
+
+    stale_leaks: tuple[tuple[str, str, str], ...]
+    current_leaks: tuple[tuple[str, str, str], ...]
+    supercookies_blocked_only_by_current: tuple[str, ...] = field(default=())
+
+
+def replay_session(
+    stale: PublicSuffixList,
+    current: PublicSuffixList,
+    visits: list[tuple[str, tuple[str, ...]]],
+    identifier_key: str = "uid",
+) -> SessionComparison:
+    """Drive the same session through both list versions.
+
+    Every visited page writes an identifier into its partition; the
+    comparison reports which cross-organization flows only the stale
+    list allowed, plus supercookie attempts only the current list
+    blocks.
+    """
+    browsers = {"stale": Browser(stale), "current": Browser(current)}
+    blocked_only_by_current: list[str] = []
+    for page_host, request_hosts in visits:
+        for label, browser in browsers.items():
+            browser.navigate(page_host, request_hosts)
+            browser.set_item(page_host, identifier_key, f"id-of-{page_host}")
+        # A tracking script also tries a widest-scope cookie.
+        scope = current.public_suffix(page_host)
+        outcomes = {}
+        for label, psl in (("stale", stale), ("current", current)):
+            try:
+                CookieJar(psl).set_cookie(page_host, "track", "1", domain=scope)
+                outcomes[label] = True
+            except (SuperCookieError, ValueError):
+                outcomes[label] = False
+        if outcomes["stale"] and not outcomes["current"]:
+            blocked_only_by_current.append(page_host)
+    return SessionComparison(
+        stale_leaks=tuple(browsers["stale"].identifier_leaks(current)),
+        current_leaks=tuple(browsers["current"].identifier_leaks(current)),
+        supercookies_blocked_only_by_current=tuple(blocked_only_by_current),
+    )

@@ -1,0 +1,84 @@
+"""Wildcard-certificate issuance checks.
+
+Another validation system the paper names: "SSL wildcard issuance".
+The CA/Browser Forum baseline requirements forbid issuing a wildcard
+certificate whose wildcard sits directly above a public suffix
+(``*.co.uk`` would cover every UK company), and hostname verification
+must refuse to let a wildcard label match across a registrable-domain
+boundary.  Both checks consult the PSL — so both inherit its staleness:
+a CA running an outdated list will happily issue ``*.myshopify.com``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.psl.list import PublicSuffixList
+
+
+@dataclass(frozen=True, slots=True)
+class IssuanceDecision:
+    """A CA's verdict on one certificate request."""
+
+    requested_name: str
+    allowed: bool
+    reason: str
+
+
+def check_issuance(psl: PublicSuffixList, requested_name: str) -> IssuanceDecision:
+    """Validate a certificate subject name against the PSL.
+
+    Wildcard names must carry exactly one leading ``*.`` and their base
+    must not be a public suffix; non-wildcard names are only checked
+    for having a registrable domain at all.
+    """
+    name = requested_name.strip().lower()
+    if name.startswith("*."):
+        base = name[2:]
+        if "*" in base:
+            return IssuanceDecision(name, False, "multiple wildcard labels")
+        if psl.is_public_suffix(base):
+            return IssuanceDecision(
+                name, False, f"wildcard directly above public suffix {base!r}"
+            )
+        return IssuanceDecision(name, True, f"wildcard within site {psl.site_of(base)!r}")
+    if "*" in name:
+        return IssuanceDecision(name, False, "wildcard label not leftmost")
+    if psl.registrable_domain(name) is None:
+        return IssuanceDecision(name, False, "name is a bare public suffix")
+    return IssuanceDecision(name, True, "fully-qualified host name")
+
+
+def matches_certificate(psl: PublicSuffixList, certificate_name: str, hostname: str) -> bool:
+    """RFC 6125-style wildcard matching with a PSL boundary check.
+
+    A wildcard matches exactly one leftmost label, and only when doing
+    so stays inside one registrable domain.
+    """
+    certificate_name = certificate_name.lower().rstrip(".")
+    hostname = hostname.lower().rstrip(".")
+    if not certificate_name.startswith("*."):
+        return certificate_name == hostname
+    base = certificate_name[2:]
+    if not hostname.endswith("." + base):
+        return False
+    leftmost = hostname[: -(len(base) + 1)]
+    if "." in leftmost:
+        return False  # wildcard covers exactly one label
+    if psl.is_public_suffix(base):
+        return False  # *.co.uk-style match crosses organizations
+    return True
+
+
+def stale_list_overissuance(
+    outdated: PublicSuffixList,
+    current: PublicSuffixList,
+    requested_names: list[str],
+) -> list[str]:
+    """Names a stale-list CA would issue that a current-list CA refuses."""
+    return [
+        name
+        for name in requested_names
+        if check_issuance(outdated, name).allowed
+        and not check_issuance(current, name).allowed
+    ]

@@ -1,0 +1,112 @@
+"""A PSL-aware cookie jar (RFC 6265 domain matching).
+
+The jar implements the subset of cookie semantics where the PSL is
+load-bearing:
+
+* a cookie may set ``Domain=`` to the request host or any of its
+  ancestors, **but never to a public suffix** — otherwise
+  ``Domain=co.uk`` would be readable by every UK company (the
+  "supercookie" the paper mentions browsers filter);
+* host-only cookies (no ``Domain=``) match the exact host;
+* domain cookies match the domain and its subdomains.
+
+Because the suffix check consults the injected
+:class:`~repro.psl.list.PublicSuffixList`, running the same scenario
+under two list versions shows exactly the harm of Figure 1: a list
+missing ``example.co.uk``-style rules accepts cookies that leak across
+organizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.psl.errors import PslError
+from repro.psl.list import PublicSuffixList
+
+
+class SuperCookieError(PslError):
+    """Raised when a cookie tries to scope itself to a public suffix."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        super().__init__(f"refusing supercookie for public suffix {domain!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Cookie:
+    """One stored cookie."""
+
+    name: str
+    value: str
+    domain: str
+    host_only: bool
+
+    def matches(self, host: str) -> bool:
+        """RFC 6265 section 5.1.3 domain matching."""
+        if self.host_only:
+            return host == self.domain
+        return host == self.domain or host.endswith("." + self.domain)
+
+
+class CookieJar:
+    """A cookie store enforcing PSL-derived domain rules."""
+
+    def __init__(self, psl: PublicSuffixList) -> None:
+        self._psl = psl
+        self._cookies: dict[tuple[str, str, bool], Cookie] = {}
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def set_cookie(
+        self, request_host: str, name: str, value: str, domain: str | None = None
+    ) -> Cookie:
+        """Store a cookie set by ``request_host``.
+
+        ``domain`` is the ``Domain=`` attribute; None means host-only.
+        Raises :class:`SuperCookieError` for public-suffix domains and
+        ValueError when the attribute does not cover the request host.
+        """
+        host = request_host.lower().rstrip(".")
+        if domain is None:
+            cookie = Cookie(name=name, value=value, domain=host, host_only=True)
+        else:
+            scope = domain.lower().lstrip(".").rstrip(".")
+            if self._psl.is_public_suffix(scope):
+                # RFC 6265 + real browser behaviour: one exception — a
+                # request from exactly the suffix may treat it host-only.
+                if scope == host:
+                    cookie = Cookie(name=name, value=value, domain=host, host_only=True)
+                    self._cookies[(cookie.domain, name, True)] = cookie
+                    return cookie
+                raise SuperCookieError(scope)
+            if host != scope and not host.endswith("." + scope):
+                raise ValueError(f"{request_host!r} cannot set a cookie for {domain!r}")
+            cookie = Cookie(name=name, value=value, domain=scope, host_only=False)
+        self._cookies[(cookie.domain, name, cookie.host_only)] = cookie
+        return cookie
+
+    def cookies_for(self, request_host: str) -> list[Cookie]:
+        """Cookies the browser would attach to a request to ``request_host``."""
+        host = request_host.lower().rstrip(".")
+        return sorted(
+            (cookie for cookie in self._cookies.values() if cookie.matches(host)),
+            key=lambda cookie: (cookie.domain, cookie.name),
+        )
+
+    def readable_by(self, first_host: str, second_host: str) -> list[Cookie]:
+        """Cookies set while on ``first_host`` that ``second_host`` can read.
+
+        The cross-organization leak check of the paper's Figure 1: under
+        a correct list this is empty for two different registrants of
+        the same public suffix.
+        """
+        visible_second = set(
+            (cookie.domain, cookie.name, cookie.host_only) for cookie in self.cookies_for(second_host)
+        )
+        return [
+            cookie
+            for cookie in self.cookies_for(first_host)
+            if (cookie.domain, cookie.name, cookie.host_only) in visible_second
+        ]

@@ -1,0 +1,131 @@
+"""DMARC organizational-domain discovery (RFC 7489 section 3.2).
+
+One of the paper's named PSL use cases: "finding DMARC policy records
+for email subdomains".  When ``mail.corp.example.co.uk`` has no DMARC
+record of its own, the receiver queries the *organizational domain* —
+computed with the PSL — at ``_dmarc.example.co.uk``.  An outdated list
+computes the wrong organizational domain, so policy discovery walks to
+a name controlled by a different organization: with a list missing
+``example.co.uk``-style rules, every registrant under the suffix
+resolves to the *same* fallback record owner.
+
+The DNS is modelled by a minimal TXT-record zone, enough to drive the
+discovery logic end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.psl.list import PublicSuffixList
+
+
+class TxtZone:
+    """A miniature DNS TXT-record store."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[str]] = {}
+
+    def add(self, name: str, value: str) -> None:
+        """Publish a TXT record at ``name``."""
+        self._records.setdefault(name.lower().rstrip("."), []).append(value)
+
+    def lookup(self, name: str) -> list[str]:
+        """TXT records at exactly ``name`` (no wildcard semantics)."""
+        return list(self._records.get(name.lower().rstrip("."), []))
+
+
+@dataclass(frozen=True, slots=True)
+class DmarcResult:
+    """Outcome of policy discovery for one sender domain."""
+
+    sender: str
+    organizational_domain: str
+    record: str | None
+    queried: tuple[str, ...]  # the _dmarc names queried, in order
+
+    @property
+    def found(self) -> bool:
+        return self.record is not None
+
+
+def organizational_domain(psl: PublicSuffixList, domain: str) -> str:
+    """RFC 7489's organizational domain: the PSL's registrable domain.
+
+    Domains that are themselves public suffixes are their own
+    organizational domain (the RFC's degenerate case).
+    """
+    return psl.match(domain).site
+
+
+def discover_policy(psl: PublicSuffixList, zone: TxtZone, sender: str) -> DmarcResult:
+    """RFC 7489 discovery: exact domain first, then the org domain."""
+    queried: list[str] = []
+
+    def query(domain: str) -> str | None:
+        name = f"_dmarc.{domain}"
+        queried.append(name)
+        for value in zone.lookup(name):
+            if value.startswith("v=DMARC1"):
+                return value
+        return None
+
+    record = query(sender)
+    org = organizational_domain(psl, sender)
+    if record is None and org != sender:
+        record = query(org)
+    return DmarcResult(
+        sender=sender,
+        organizational_domain=org,
+        record=record,
+        queried=tuple(queried),
+    )
+
+
+def discover_policy_dns(psl: PublicSuffixList, resolver, sender: str) -> DmarcResult:
+    """RFC 7489 discovery over the real DNS substrate.
+
+    ``resolver`` is a :class:`repro.net.dns.StubResolver`; TXT records
+    live at ``_dmarc.<domain>``.  Behaviour matches
+    :func:`discover_policy`, but answers flow through CNAME chasing and
+    the resolver cache like production mail receivers' do.
+    """
+    from repro.net.dns import RecordType
+
+    queried: list[str] = []
+
+    def query(domain: str) -> str | None:
+        name = f"_dmarc.{domain}"
+        queried.append(name)
+        for value in resolver.resolve(name, RecordType.TXT).texts():
+            if value.startswith("v=DMARC1"):
+                return value
+        return None
+
+    record = query(sender)
+    org = organizational_domain(psl, sender)
+    if record is None and org != sender:
+        record = query(org)
+    return DmarcResult(
+        sender=sender, organizational_domain=org, record=record, queried=tuple(queried)
+    )
+
+
+def misdirected_queries(
+    outdated: PublicSuffixList,
+    current: PublicSuffixList,
+    senders: list[str],
+) -> list[tuple[str, str, str]]:
+    """Senders whose fallback query goes to the wrong owner when stale.
+
+    Returns (sender, stale org domain, correct org domain) triples —
+    each one is a mail-security decision delegated to a domain outside
+    the sender's organization.
+    """
+    wrong: list[tuple[str, str, str]] = []
+    for sender in senders:
+        stale_org = organizational_domain(outdated, sender)
+        true_org = organizational_domain(current, sender)
+        if stale_org != true_org:
+            wrong.append((sender, stale_org, true_org))
+    return wrong

@@ -1,0 +1,83 @@
+"""Cross-site tracking simulation under two list versions.
+
+Replays a browsing trace twice — once under an outdated list, once
+under the current one — and reports every pair of hosts that shares
+browser state under the outdated list but is separated by the current
+one.  Each such pair is a concrete tracking opportunity created purely
+by the stale list: a script on one host can read identifiers written
+by the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.psl.list import PublicSuffixList
+
+
+@dataclass(frozen=True, slots=True)
+class Leak:
+    """One state-sharing pair the outdated list wrongly permits."""
+
+    first_host: str
+    second_host: str
+    shared_site_under_outdated: str
+    sites_under_current: tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class TrackingReport:
+    """Outcome of one trace replay."""
+
+    leaks: tuple[Leak, ...]
+    hosts_visited: int
+    pairs_checked: int
+
+    @property
+    def leak_rate(self) -> float:
+        """Fraction of checked pairs that leak."""
+        if self.pairs_checked == 0:
+            return 0.0
+        return len(self.leaks) / self.pairs_checked
+
+
+class TrackingSimulator:
+    """Compares state partitioning between two list versions."""
+
+    def __init__(self, outdated: PublicSuffixList, current: PublicSuffixList) -> None:
+        self._outdated = outdated
+        self._current = current
+
+    def replay(self, visited_hosts: Sequence[str] | Iterable[str]) -> TrackingReport:
+        """Replay a trace of visited hosts and collect the leaks.
+
+        Hosts grouped into one site by the outdated list share cookies,
+        localStorage, and caches; if the current list splits them, that
+        sharing crosses an organizational boundary.
+        """
+        hosts = sorted(set(visited_hosts))
+        outdated_sites: dict[str, list[str]] = {}
+        for host in hosts:
+            outdated_sites.setdefault(self._outdated.site_of(host), []).append(host)
+
+        leaks: list[Leak] = []
+        pairs_checked = 0
+        for shared_site, members in sorted(outdated_sites.items()):
+            for position, first in enumerate(members):
+                for second in members[position + 1 :]:
+                    pairs_checked += 1
+                    current_first = self._current.site_of(first)
+                    current_second = self._current.site_of(second)
+                    if current_first != current_second:
+                        leaks.append(
+                            Leak(
+                                first_host=first,
+                                second_host=second,
+                                shared_site_under_outdated=shared_site,
+                                sites_under_current=(current_first, current_second),
+                            )
+                        )
+        return TrackingReport(
+            leaks=tuple(leaks), hosts_visited=len(hosts), pairs_checked=pairs_checked
+        )

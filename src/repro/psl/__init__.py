@@ -1,0 +1,43 @@
+"""The Public Suffix List engine.
+
+Implements the full publicsuffix.org algorithm over ``.dat`` files:
+
+* :mod:`repro.psl.rules` — the three rule kinds (normal, wildcard,
+  exception) and the ICANN/PRIVATE section split;
+* :mod:`repro.psl.parser` / :mod:`repro.psl.serialize` — reading and
+  writing the ``public_suffix_list.dat`` wire format;
+* :mod:`repro.psl.trie` / :mod:`repro.psl.matcher` — a reversed-label
+  trie and the prevailing-rule lookup;
+* :mod:`repro.psl.list` — the :class:`~repro.psl.list.PublicSuffixList`
+  facade (public suffix, registrable domain, site equality);
+* :mod:`repro.psl.diff` — deltas between list versions, the unit of the
+  incremental analyses in :mod:`repro.analysis`;
+* :mod:`repro.psl.punycode` / :mod:`repro.psl.idna` — RFC 3492 and the
+  IDNA mapping needed because PSL matching is defined over A-labels.
+"""
+
+from repro.psl.diff import RuleDelta, diff_rules
+from repro.psl.errors import PslError, PslParseError, PunycodeError
+from repro.psl.linter import LintFinding, LintReport, lint_psl
+from repro.psl.list import PublicSuffixList, SuffixMatch
+from repro.psl.parser import parse_psl
+from repro.psl.rules import Rule, RuleKind, Section
+from repro.psl.serialize import serialize_psl
+
+__all__ = [
+    "LintFinding",
+    "LintReport",
+    "PslError",
+    "PslParseError",
+    "PublicSuffixList",
+    "PunycodeError",
+    "Rule",
+    "RuleDelta",
+    "RuleKind",
+    "Section",
+    "SuffixMatch",
+    "diff_rules",
+    "lint_psl",
+    "parse_psl",
+    "serialize_psl",
+]

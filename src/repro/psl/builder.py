@@ -1,0 +1,94 @@
+"""Fluent construction of Public Suffix Lists.
+
+Tests, examples, and simulations keep assembling small lists by hand;
+the builder makes that declarative and *validated*: every mutation
+parses through the rule grammar, wildcards auto-carry their base
+context, exceptions are checked against a covering wildcard (the
+linter's acceptance rule, enforced at build time), and `build()`
+returns the immutable engine object.
+"""
+
+from __future__ import annotations
+
+from repro.psl.errors import PslParseError
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule, RuleKind, Section
+
+
+class PslBuilder:
+    """Accumulates rules; ``build()`` produces a PublicSuffixList.
+
+    >>> psl = (PslBuilder()
+    ...        .tld('com')
+    ...        .suffix('co.uk')
+    ...        .wildcard('ck', exceptions=['www'])
+    ...        .private_suffix('github.io')
+    ...        .build())
+    >>> psl.public_suffix('a.github.io')
+    'github.io'
+    """
+
+    def __init__(self) -> None:
+        self._rules: list[Rule] = []
+
+    def _add(self, rule: Rule) -> "PslBuilder":
+        self._rules.append(rule)
+        return self
+
+    def tld(self, label: str) -> "PslBuilder":
+        """Add a top-level rule (one label)."""
+        rule = Rule.parse(label)
+        if rule.component_count != 1:
+            raise PslParseError(f"{label!r} is not a single label")
+        return self._add(rule)
+
+    def suffix(self, name: str, *, section: Section = Section.ICANN) -> "PslBuilder":
+        """Add a normal rule of any depth."""
+        rule = Rule.parse(name, section=section)
+        if rule.kind is not RuleKind.NORMAL:
+            raise PslParseError(f"{name!r} is not a normal rule; use wildcard()/exception()")
+        return self._add(rule)
+
+    def private_suffix(self, name: str) -> "PslBuilder":
+        """Add a PRIVATE-division rule (operator submission)."""
+        return self.suffix(name, section=Section.PRIVATE)
+
+    def wildcard(
+        self,
+        base: str,
+        *,
+        exceptions: list[str] | None = None,
+        section: Section = Section.ICANN,
+    ) -> "PslBuilder":
+        """Add ``*.base`` plus its ``!<label>.base`` exceptions."""
+        self._add(Rule.parse(f"*.{base}", section=section))
+        for label in exceptions or []:
+            self._add(Rule.parse(f"!{label}.{base}", section=section))
+        return self
+
+    def exception(self, name: str, *, section: Section = Section.ICANN) -> "PslBuilder":
+        """Add a bare exception rule; its wildcard must already exist."""
+        rule = Rule.parse(f"!{name.lstrip('!')}", section=section)
+        parent = ".".join(reversed(rule.labels[:-1]))
+        covering = any(
+            candidate.kind is RuleKind.WILDCARD
+            and ".".join(reversed(candidate.labels[:-1])) == parent
+            for candidate in self._rules
+        )
+        if not covering:
+            raise PslParseError(
+                f"exception {rule.text!r} has no covering wildcard in the builder"
+            )
+        return self._add(rule)
+
+    def rules_from(self, other: PublicSuffixList) -> "PslBuilder":
+        """Start from an existing list's rules."""
+        self._rules.extend(other.rules)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def build(self) -> PublicSuffixList:
+        """The immutable list (duplicates collapse, order irrelevant)."""
+        return PublicSuffixList(self._rules)

@@ -1,0 +1,138 @@
+"""Deltas between Public Suffix List versions.
+
+The paper's version sweep interprets one web snapshot under 1,142 list
+versions.  Doing that naively costs |hostnames| x |versions| lookups;
+the incremental analyses in :mod:`repro.analysis.boundaries` instead
+walk the history as a chain of :class:`RuleDelta` objects and only
+re-examine hostnames that a changed rule can affect.  This module
+computes, applies, composes, and inverts those deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule, Section
+
+PATCH_HEADER = "# psl-delta v1"
+
+
+@dataclass(frozen=True, slots=True)
+class RuleDelta:
+    """An unordered set difference between two rule sets.
+
+    Invariant (enforced at construction): ``added`` and ``removed`` are
+    disjoint.  An empty delta is falsy, which lets replay loops skip
+    no-op versions cheaply.
+    """
+
+    added: frozenset[Rule]
+    removed: frozenset[Rule]
+
+    def __post_init__(self) -> None:
+        overlap = self.added & self.removed
+        if overlap:
+            raise ValueError(f"delta adds and removes the same rules: {sorted(r.text for r in overlap)}")
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def invert(self) -> "RuleDelta":
+        """The delta that undoes this one."""
+        return RuleDelta(added=self.removed, removed=self.added)
+
+    def apply(self, psl: PublicSuffixList) -> PublicSuffixList:
+        """Apply this delta to a list, producing the successor version."""
+        return psl.with_rules(added=self.added, removed=self.removed)
+
+    def compose(self, later: "RuleDelta") -> "RuleDelta":
+        """The single delta equivalent to applying ``self`` then ``later``.
+
+        Equivalence holds over ``apply`` on *any* base: a rule added
+        then removed nets to a removal (it must end up absent even on
+        bases that already carried it), and vice versa.  A composed
+        delta over a long span therefore stays proportional to the net
+        change — the property the incremental sweep exploits.
+        """
+        added = (self.added - later.removed) | later.added
+        removed = (self.removed - later.added) | later.removed
+        return RuleDelta(added=added - removed, removed=removed - added)
+
+    def touched_names(self) -> frozenset[str]:
+        """Dotted names of every rule this delta touches (sans markers)."""
+        return frozenset(rule.name for rule in self.added | self.removed)
+
+    def to_patch(self) -> str:
+        """Serialize as a patch file.
+
+        Format: a header line, then one ``+section:rule`` or
+        ``-section:rule`` line per change, sorted (removals first) so
+        output is canonical.  This is the interchange format for
+        publishing per-version changes alongside an artifact release.
+
+        >>> delta = RuleDelta(frozenset([Rule.parse('dev')]), frozenset())
+        >>> print(delta.to_patch())
+        # psl-delta v1
+        +icann:dev
+        """
+        lines = [PATCH_HEADER]
+        for rule in sorted(self.removed, key=lambda r: (r.section.value, r.labels)):
+            lines.append(f"-{rule.section.value}:{rule.text}")
+        for rule in sorted(self.added, key=lambda r: (r.section.value, r.labels)):
+            lines.append(f"+{rule.section.value}:{rule.text}")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_patch(cls, text: str) -> "RuleDelta":
+        """Parse a patch produced by :meth:`to_patch`.
+
+        Raises ValueError on unknown headers or malformed lines — a
+        truncated patch must never half-apply.
+        """
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines or lines[0].strip() != PATCH_HEADER:
+            raise ValueError("not a psl-delta v1 patch")
+        added: set[Rule] = set()
+        removed: set[Rule] = set()
+        for line in lines[1:]:
+            sign = line[0]
+            if sign not in "+-" or ":" not in line:
+                raise ValueError(f"malformed patch line {line!r}")
+            section_name, _, rule_text = line[1:].partition(":")
+            try:
+                section = Section(section_name)
+            except ValueError:
+                raise ValueError(f"unknown section {section_name!r}") from None
+            rule = Rule.parse(rule_text, section=section)
+            (added if sign == "+" else removed).add(rule)
+        return cls(added=frozenset(added), removed=frozenset(removed))
+
+
+def diff_rules(old: PublicSuffixList, new: PublicSuffixList) -> RuleDelta:
+    """Compute the delta transforming ``old`` into ``new``.
+
+    >>> from repro.psl.rules import Rule
+    >>> old = PublicSuffixList([Rule.parse('com')])
+    >>> new = PublicSuffixList([Rule.parse('com'), Rule.parse('dev')])
+    >>> sorted(r.text for r in diff_rules(old, new).added)
+    ['dev']
+    """
+    old_rules = set(old.rules)
+    new_rules = set(new.rules)
+    return RuleDelta(
+        added=frozenset(new_rules - old_rules),
+        removed=frozenset(old_rules - new_rules),
+    )
+
+
+def compose_all(deltas: Iterable[RuleDelta]) -> RuleDelta:
+    """Fold a sequence of deltas into one net delta."""
+    result = RuleDelta(frozenset(), frozenset())
+    for delta in deltas:
+        result = result.compose(delta)
+    return result

@@ -1,0 +1,23 @@
+"""Exception types raised by the PSL engine."""
+
+
+class PslError(ValueError):
+    """Base class for all PSL engine errors."""
+
+
+class PslParseError(PslError):
+    """Raised when a ``.dat`` file or a single rule cannot be parsed.
+
+    Carries the 1-based ``line_number`` when parsing a full file, or 0
+    when parsing an isolated rule string.
+    """
+
+    def __init__(self, message: str, line_number: int = 0) -> None:
+        self.line_number = line_number
+        if line_number:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class PunycodeError(PslError):
+    """Raised when punycode encoding or decoding fails (RFC 3492)."""

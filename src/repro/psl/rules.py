@@ -1,0 +1,153 @@
+"""PSL rule model.
+
+A rule is one non-comment line of ``public_suffix_list.dat``.  Three
+kinds exist (publicsuffix.org "Format" specification):
+
+* **normal** — a literal suffix such as ``co.uk``;
+* **wildcard** — ``*.`` followed by a suffix, e.g. ``*.ck``, meaning
+  every direct child of ``ck`` is itself a public suffix;
+* **exception** — ``!`` followed by a name, e.g. ``!www.ck``, carving a
+  registrable domain out of an enclosing wildcard.
+
+Each rule also belongs to a *section*: the ICANN division (actual TLD
+registry policy) or the PRIVATE division (operators like
+``github.io`` that accept subdomain registrations).  The paper's harm
+analysis leans heavily on PRIVATE-division rules, since those are the
+suffixes that let arbitrary parties host content.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.psl.errors import PslParseError
+from repro.psl.idna import to_ascii
+
+# LDH rule for A-labels: letters, digits, interior hyphens.  The live
+# list contains nothing else (underscores etc. are hostname-side noise
+# the engine tolerates, but never valid *rules*).
+_LABEL_RE = re.compile(r"^[a-z0-9]([a-z0-9-]*[a-z0-9])?$")
+
+
+class RuleKind(enum.Enum):
+    """The three rule kinds of the PSL format."""
+
+    NORMAL = "normal"
+    WILDCARD = "wildcard"
+    EXCEPTION = "exception"
+
+
+class Section(enum.Enum):
+    """The division of the list a rule belongs to."""
+
+    ICANN = "icann"
+    PRIVATE = "private"
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A single, canonicalized PSL rule.
+
+    ``labels`` are the A-label components right-to-left **as written**,
+    including the ``*`` label for wildcards but excluding the ``!``
+    marker for exceptions (the marker is carried by ``kind``).  Storing
+    labels reversed matches the trie's insertion order.
+    """
+
+    labels: tuple[str, ...]
+    kind: RuleKind
+    section: Section
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise PslParseError("rule has no labels")
+        if self.kind is RuleKind.WILDCARD and self.labels[-1] != "*":
+            raise PslParseError(f"wildcard rule must end in '*': {self.labels!r}")
+        if self.kind is not RuleKind.WILDCARD and "*" in self.labels:
+            raise PslParseError(f"'*' label outside a wildcard rule: {self.labels!r}")
+
+    @property
+    def name(self) -> str:
+        """The rule's dotted name left-to-right, without the ``!`` marker.
+
+        >>> Rule.parse('!www.ck').name
+        'www.ck'
+        """
+        return ".".join(reversed(self.labels))
+
+    @property
+    def text(self) -> str:
+        """The canonical ``.dat`` line for this rule.
+
+        >>> Rule.parse('!www.ck').text
+        '!www.ck'
+        """
+        prefix = "!" if self.kind is RuleKind.EXCEPTION else ""
+        return prefix + self.name
+
+    @property
+    def component_count(self) -> int:
+        """Number of suffix components, the quantity broken out in Figure 2."""
+        return len(self.labels)
+
+    def matchable_label_count(self) -> int:
+        """How many hostname labels this rule consumes when it matches.
+
+        Identical to ``component_count``; exception rules, when
+        prevailing, consume one label fewer (handled by the matcher).
+        """
+        return len(self.labels)
+
+    @classmethod
+    def parse(cls, line: str, section: Section = Section.ICANN) -> "Rule":
+        """Parse one rule line (already stripped of comments/whitespace).
+
+        Raises :class:`PslParseError` on malformed input.
+
+        >>> Rule.parse('*.ck').kind
+        <RuleKind.WILDCARD: 'wildcard'>
+        """
+        text = line.strip()
+        if not text:
+            raise PslParseError("empty rule")
+        if any(ch.isspace() for ch in text):
+            raise PslParseError(f"whitespace inside rule {line!r}")
+
+        kind = RuleKind.NORMAL
+        if text.startswith("!"):
+            kind = RuleKind.EXCEPTION
+            text = text[1:]
+            if not text:
+                raise PslParseError("bare '!' is not a rule")
+
+        if text.startswith("."):
+            raise PslParseError(f"rule starts with a dot: {line!r}")
+        if text.endswith("."):
+            raise PslParseError(f"rule ends with a dot: {line!r}")
+
+        try:
+            ascii_text = to_ascii(text)
+        except ValueError as exc:
+            raise PslParseError(f"IDNA conversion failed for {line!r}: {exc}") from exc
+
+        parts = ascii_text.split(".")
+        if "" in parts:
+            raise PslParseError(f"empty label in rule {line!r}")
+        for part in parts:
+            if part != "*" and not _LABEL_RE.match(part):
+                raise PslParseError(f"invalid label {part!r} in rule {line!r}")
+        if "*" in parts:
+            if kind is RuleKind.EXCEPTION:
+                raise PslParseError(f"exception rule cannot contain '*': {line!r}")
+            if parts[0] != "*" or parts.count("*") != 1:
+                # The live PSL only ever uses a single leading wildcard
+                # label; interior wildcards are rejected as malformed.
+                raise PslParseError(f"unsupported wildcard placement: {line!r}")
+            kind = RuleKind.WILDCARD
+
+        return cls(labels=tuple(reversed(parts)), kind=kind, section=section)
+
+    def __str__(self) -> str:
+        return self.text

@@ -1,0 +1,18 @@
+"""``psl-doctor``: find and assess vendored Public Suffix List copies.
+
+The paper closes by urging developers to use the list safely; the
+missing piece is tooling that tells a project it is carrying a stale
+copy.  This package is that tool:
+
+* :mod:`repro.psltool.scanner` — walk a source tree and find embedded
+  lists, by filename *and* by content fingerprint (the paper could
+  only search by filename and notes the resulting undercount);
+* :mod:`repro.psltool.doctor` — date each find against a version
+  history, diff it against the newest list, and score the risk;
+* :mod:`repro.psltool.cli` — the ``psl-doctor`` command.
+"""
+
+from repro.psltool.doctor import Diagnosis, diagnose
+from repro.psltool.scanner import FoundList, scan_tree
+
+__all__ = ["Diagnosis", "FoundList", "diagnose", "scan_tree"]

@@ -1,0 +1,196 @@
+"""The ``psl-doctor`` command.
+
+Usage::
+
+    psl-doctor scan PATH            # find + assess every embedded list
+    psl-doctor check FILE           # assess one file
+    psl-doctor diff FILE            # rules the file is missing vs. newest
+    psl-doctor lint FILE            # maintainer-style acceptance checks
+    psl-doctor when SUFFIX          # when a rule joined (or left) the list
+
+The doctor needs a version history to date copies against.  By default
+it synthesizes the reproduction's history (deterministic, matches the
+paper's measured shape); ``--latest FILE`` additionally overrides what
+"the newest list" means for the diff, so the tool also works against a
+freshly downloaded real ``public_suffix_list.dat``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.history.store import VersionStore
+from repro.history.synthesis import SynthesisConfig, synthesize_history
+from repro.psl.parser import iter_rules
+from repro.psltool.doctor import diagnose
+from repro.psltool.scanner import FoundList, scan_tree
+from repro.repos.dating import ListDater
+
+
+def _load_found(path: str) -> FoundList:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    rule_count = sum(
+        1 for line in text.splitlines() if line.strip() and not line.strip().startswith("//")
+    )
+    return FoundList(path=path, text=text, detection="filename", rule_count=rule_count)
+
+
+def diagnosis_to_dict(report) -> dict:
+    """A machine-readable rendering of one diagnosis (for ``--json``)."""
+    return {
+        "path": report.path,
+        "age_days": report.age_days,
+        "dated": report.dating is not None,
+        "dating_method": report.dating.method if report.dating else None,
+        "dating_confidence": report.dating.confidence if report.dating else None,
+        "list_date": report.dating.date.isoformat() if report.dating else None,
+        "missing_rules": report.missing_rules,
+        "missing_private_rules": report.missing_private_rules,
+        "notable_missing": list(report.stale_examples),
+        "risk": report.risk,
+    }
+
+
+RISK_ORDER = ("low", "moderate", "high", "critical")
+
+
+def _print_diagnosis(store: VersionStore, found: FoundList, dater: ListDater, *, as_json: bool = False):
+    report = diagnose(store, found, dater=dater)
+    if as_json:
+        print(json.dumps(diagnosis_to_dict(report), indent=1))
+        return report
+    print(report.summary)
+    if report.dating is not None and not report.dating.is_exact:
+        print(
+            f"  (nearest match: version {report.dating.version_index} "
+            f"of {report.dating.date}, confidence {report.dating.confidence:.2f})"
+        )
+    if report.stale_examples:
+        print("  notable missing rules: " + ", ".join(report.stale_examples))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``psl-doctor``."""
+    parser = argparse.ArgumentParser(
+        prog="psl-doctor",
+        description="Detect and assess outdated vendored Public Suffix List copies.",
+    )
+    parser.add_argument("command", choices=("scan", "check", "diff", "lint", "when"))
+    parser.add_argument(
+        "path", help="directory (scan), .dat file (check/diff/lint), or suffix (when)"
+    )
+    parser.add_argument(
+        "--no-content-detection",
+        action="store_true",
+        help="scan: only match canonical filenames",
+    )
+    parser.add_argument("--seed", type=int, default=20230701, help="history seed")
+    parser.add_argument(
+        "--json", action="store_true", help="scan/check: machine-readable output"
+    )
+    parser.add_argument(
+        "--latest",
+        metavar="FILE",
+        help="diff: compare against this .dat instead of the history's newest version "
+        "(use with a freshly downloaded real public_suffix_list.dat)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("moderate", "high", "critical"),
+        help="scan/check: exit non-zero when any finding reaches this risk "
+        "level (CI gate)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "lint":
+        # Linting needs no history; keep it instant.
+        from repro.psl.linter import lint_psl
+
+        with open(arguments.path, encoding="utf-8") as handle:
+            lint_report = lint_psl(handle.read())
+        for finding in lint_report.findings:
+            print(finding)
+        print(
+            f"{lint_report.rule_count} rules, {len(lint_report.errors)} errors, "
+            f"{len(lint_report.warnings)} warnings"
+        )
+        return 0 if lint_report.ok else 1
+
+    store = synthesize_history(SynthesisConfig(seed=arguments.seed))
+
+    if arguments.command == "when":
+        from repro.history.timeline import rule_addition_dates, rule_removal_dates
+        from repro.psl.rules import Rule
+
+        text = Rule.parse(arguments.path).text
+        added = rule_addition_dates(store).get(text)
+        removed = rule_removal_dates(store).get(text)
+        if added is None:
+            print(f"{text!r} has never been on the list")
+            return 1
+        print(f"{text} added on {added.isoformat()}")
+        if removed is not None:
+            print(f"{text} removed on {removed.isoformat()}")
+        else:
+            latest = {rule.text for rule in store.rules_at(-1)}
+            status = "present in" if text in latest else "absent from"
+            print(f"{text} is {status} the newest version ({store.latest.date})")
+        return 0
+
+    dater = ListDater(store)
+
+    def gate(reports) -> int:
+        """CI gate: non-zero when any risk reaches --fail-on."""
+        if arguments.fail_on is None:
+            return 0
+        threshold = RISK_ORDER.index(arguments.fail_on)
+        worst = max(
+            (RISK_ORDER.index(report.risk) for report in reports), default=0
+        )
+        return 2 if worst >= threshold else 0
+
+    if arguments.command == "scan":
+        found = scan_tree(
+            arguments.path, content_detection=not arguments.no_content_detection
+        )
+        if not found:
+            print("no embedded Public Suffix List copies found")
+            return 0
+        reports = [
+            _print_diagnosis(store, item, dater, as_json=arguments.json)
+            for item in found
+        ]
+        return gate(reports)
+
+    found = _load_found(arguments.path)
+    if arguments.command == "check":
+        report = _print_diagnosis(store, found, dater, as_json=arguments.json)
+        return gate([report])
+
+    # diff
+    vendored = {rule.text for rule in iter_rules(found.text, strict=False)}
+    if arguments.latest:
+        with open(arguments.latest, encoding="utf-8") as handle:
+            latest = {rule.text for rule in iter_rules(handle.read(), strict=False)}
+    else:
+        latest = {rule.text for rule in store.rules_at(-1)}
+    missing = sorted(latest - vendored)
+    extra = sorted(vendored - latest)
+    print(f"missing {len(missing)} rules vs. the newest list:")
+    for text in missing[:50]:
+        print(f"  + {text}")
+    if len(missing) > 50:
+        print(f"  … and {len(missing) - 50} more")
+    if extra:
+        print(f"carrying {len(extra)} rules the newest list does not have:")
+        for text in extra[:20]:
+            print(f"  - {text}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

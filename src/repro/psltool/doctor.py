@@ -1,0 +1,104 @@
+"""Assessing a found list: age, drift, and risk.
+
+Given an embedded list and a version history, the doctor:
+
+1. **dates** the copy (exact digest match, or nearest-match with a
+   confidence when the copy was locally modified);
+2. **diffs** it against the newest version — the rules it is missing
+   are precisely the privacy boundaries it will get wrong;
+3. **scores** the risk on the paper's own harm axes: staleness (the
+   Figure 3 quantity), the number of missing rules, and whether any of
+   the missing rules belong to the PRIVATE division (operators hosting
+   arbitrary third-party content — the paper's aggravating factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import paper
+from repro.history.store import VersionStore
+from repro.psl.parser import iter_rules
+from repro.psl.rules import Section
+from repro.psltool.scanner import FoundList
+from repro.repos.dating import DatingResult, ListDater
+
+RISK_LEVELS = ("low", "moderate", "high", "critical")
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnosis:
+    """The doctor's verdict for one embedded list."""
+
+    path: str
+    dating: DatingResult | None
+    age_days: int | None
+    missing_rules: int
+    missing_private_rules: int
+    stale_examples: tuple[str, ...]
+    risk: str
+
+    @property
+    def summary(self) -> str:
+        """One-line human summary."""
+        age = f"{self.age_days} days old" if self.age_days is not None else "age unknown"
+        return (
+            f"{self.path}: {age}, missing {self.missing_rules} rules "
+            f"({self.missing_private_rules} private) — {self.risk.upper()} risk"
+        )
+
+
+def _risk_level(age_days: int | None, missing_rules: int, missing_private: int) -> str:
+    """Score the paper's harm axes into a four-level verdict.
+
+    Thresholds follow the paper's findings: the fixed-strategy median
+    of 825 days marks entrenched staleness, and missing PRIVATE rules
+    (arbitrary-content hosts) escalate the verdict.
+    """
+    score = 0
+    if age_days is None:
+        score += 1
+    elif age_days > paper.MEDIAN_AGE_FIXED:
+        score += 2
+    elif age_days > 365:
+        score += 1
+    if missing_rules > 500:
+        score += 1
+    if missing_private > 50:
+        score += 1
+    return RISK_LEVELS[min(score, len(RISK_LEVELS) - 1)]
+
+
+def diagnose(
+    store: VersionStore,
+    found: FoundList,
+    *,
+    dater: ListDater | None = None,
+    example_limit: int = 5,
+) -> Diagnosis:
+    """Diagnose one embedded list against a history."""
+    dater = dater or ListDater(store)
+    dating = dater.date_text(found.text)
+    age = dating.age_at() if dating is not None else None
+
+    vendored = {rule.text for rule in iter_rules(found.text, strict=False)}
+    latest = store.rules_at(-1)
+    missing = sorted(rule.text for rule in latest if rule.text not in vendored)
+    missing_private = sum(
+        1 for rule in latest if rule.text not in vendored and rule.section is Section.PRIVATE
+    )
+
+    # Surface the best-known missing operators first: they make the
+    # report actionable ("your copy predates digitaloceanspaces.com").
+    notable = [row.etld for row in paper.TABLE2 if row.etld in missing]
+    examples = tuple((notable + [text for text in missing if text not in notable])[:example_limit])
+
+    return Diagnosis(
+        path=found.path,
+        dating=dating,
+        age_days=age,
+        missing_rules=len(missing),
+        missing_private_rules=missing_private,
+        stale_examples=examples,
+        risk=_risk_level(age, len(missing), missing_private),
+    )

@@ -1,0 +1,134 @@
+"""Finding embedded PSL copies in a source tree.
+
+Two detection passes:
+
+* **filename** — the canonical names projects vendor the list under
+  (``public_suffix_list.dat``, ``effective_tld_names.dat``, and their
+  common renamings);
+* **content** — files that *look like* the list regardless of name:
+  they contain the official section markers, or a large share of their
+  non-comment lines parse as suffix rules with a recognizable TLD mix.
+  This is the detector the paper notes it lacked ("…or that make use
+  of the public suffix list, but with a different filename").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.psl.parser import ICANN_BEGIN, PRIVATE_BEGIN
+from repro.psl.rules import Rule
+from repro.psl.errors import PslParseError
+
+KNOWN_FILENAMES = frozenset(
+    {
+        "public_suffix_list.dat",
+        "effective_tld_names.dat",
+        "public-suffix-list.txt",
+        "publicsuffix.txt",
+        "psl.dat",
+        "tld_names.dat",
+    }
+)
+
+MAX_SCAN_BYTES = 8 * 1024 * 1024
+MIN_CONTENT_RULES = 50
+MIN_RULE_SHARE = 0.9
+
+
+@dataclass(frozen=True, slots=True)
+class FoundList:
+    """One embedded list candidate."""
+
+    path: str
+    text: str
+    detection: str  # "filename" | "content"
+    rule_count: int
+
+
+def looks_like_psl(text: str) -> tuple[bool, int]:
+    """Content fingerprint: (is it a PSL?, parsed rule count)."""
+    if ICANN_BEGIN in text or PRIVATE_BEGIN in text:
+        rule_count = sum(
+            1
+            for line in text.splitlines()
+            if line.strip() and not line.strip().startswith("//")
+        )
+        return True, rule_count
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith(("//", "#"))
+    ]
+    if len(lines) < MIN_CONTENT_RULES:
+        return False, 0
+    parsed = 0
+    for line in lines:
+        try:
+            Rule.parse(line)
+        except (PslParseError, ValueError):
+            continue
+        parsed += 1
+    if parsed / len(lines) < MIN_RULE_SHARE:
+        return False, 0
+    # Require suffix-like shape: a meaningful share of multi-component
+    # entries, or the single-component entries would match any word list.
+    multi = sum(1 for line in lines if "." in line)
+    if multi < len(lines) * 0.2:
+        return False, 0
+    return True, parsed
+
+
+def scan_tree(root: str, *, content_detection: bool = True) -> list[FoundList]:
+    """Walk ``root`` and return every embedded list found.
+
+    Binary files and files beyond :data:`MAX_SCAN_BYTES` are skipped.
+    """
+    found: list[FoundList] = []
+    for directory, _, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            path = os.path.join(directory, filename)
+            by_name = filename.lower() in KNOWN_FILENAMES
+            is_candidate_extension = filename.lower().endswith((".dat", ".txt", ".list"))
+            if not by_name and not (content_detection and is_candidate_extension):
+                continue
+            try:
+                if os.path.getsize(path) > MAX_SCAN_BYTES:
+                    continue
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+            except (OSError, UnicodeDecodeError):
+                continue
+            if by_name:
+                rule_count = sum(
+                    1
+                    for line in text.splitlines()
+                    if line.strip() and not line.strip().startswith("//")
+                )
+                found.append(FoundList(path, text, "filename", rule_count))
+                continue
+            is_psl, rule_count = looks_like_psl(text)
+            if is_psl:
+                found.append(FoundList(path, text, "content", rule_count))
+    return found
+
+
+def scan_repository_files(files: dict[str, str], *, content_detection: bool = True) -> list[FoundList]:
+    """In-memory variant of :func:`scan_tree` for corpus repositories."""
+    found: list[FoundList] = []
+    for path in sorted(files):
+        filename = path.rsplit("/", 1)[-1].lower()
+        text = files[path]
+        if filename in KNOWN_FILENAMES:
+            rule_count = sum(
+                1
+                for line in text.splitlines()
+                if line.strip() and not line.strip().startswith("//")
+            )
+            found.append(FoundList(path, text, "filename", rule_count))
+        elif content_detection and filename.endswith((".dat", ".txt", ".list")):
+            is_psl, rule_count = looks_like_psl(text)
+            if is_psl:
+                found.append(FoundList(path, text, "content", rule_count))
+    return found

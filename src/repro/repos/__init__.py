@@ -1,0 +1,38 @@
+"""Repository corpus: the GitHub side of the measurement.
+
+The paper searched GitHub (via Sourcegraph) for repositories vendoring
+``public_suffix_list.dat``, found 273, and manually classified each by
+how it integrates the list.  This package rebuilds that pipeline over
+a synthetic corpus:
+
+* :mod:`repro.repos.model` — repositories, files, ground-truth labels;
+* :mod:`repro.repos.corpus` — the corpus generator (Table 1 marginals
+  and Table 3 rows exactly, vendored lists taken from the synthetic
+  history at calibrated dates);
+* :mod:`repro.repos.search` — the Sourcegraph-like filename/content
+  search used to *find* the 273 repositories;
+* :mod:`repro.repos.classifier` — re-derives each repository's usage
+  type from its files (the paper did this manually);
+* :mod:`repro.repos.dating` — matches a vendored list against the
+  version history to recover its age;
+* :mod:`repro.repos.notify` — maintainer-notification reports.
+"""
+
+from repro.repos.classifier import Classification, classify
+from repro.repos.corpus import CorpusConfig, build_corpus
+from repro.repos.dating import DatingResult, date_list_text
+from repro.repos.model import Repository, Strategy, UsageLabel
+from repro.repos.search import SearchIndex
+
+__all__ = [
+    "Classification",
+    "CorpusConfig",
+    "DatingResult",
+    "Repository",
+    "SearchIndex",
+    "Strategy",
+    "UsageLabel",
+    "build_corpus",
+    "classify",
+    "date_list_text",
+]

@@ -1,0 +1,150 @@
+"""Usage-type classification from repository artifacts.
+
+The paper's authors manually examined each of the 273 repositories and
+assigned the Table 1 taxonomy.  This module mechanizes that judgement
+over file-level evidence:
+
+* a vendored list under a vendoring directory (``vendor/``, a bundled
+  JRE, a pinned package checkout) → **dependency**, attributed to the
+  library the path or the manifests identify;
+* fetch logic for ``publicsuffix.org`` in a build script → **updated /
+  build**; in runtime code → **updated / server** when the project is
+  a daemon (service units, daemonized Dockerfile), else **updated /
+  user**;
+* otherwise **fixed**, sub-typed by where the list sits (test fixtures
+  vs. code that references it vs. nothing referencing it at all).
+
+The corpus generator and this classifier agree on these conventions by
+construction, and the test suite checks the classifier against the
+generator's ground-truth labels — including on adversarial repos that
+mix signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.repos.model import Repository, Strategy, UsageLabel
+
+VENDOR_COMPONENTS = frozenset(
+    {"vendor", "vendored", "node_modules", "third_party", "thirdparty", "deps", "jre", "jdk", "package", "packages", "external"}
+)
+TEST_COMPONENTS = frozenset({"test", "tests", "testdata", "fixtures", "fixture", "spec", "specs"})
+BUILD_BASENAMES = frozenset(
+    {"makefile", "build.sh", "build.gradle", "gulpfile.js", "build", "cmakelists.txt", "build.py", "update-psl.sh"}
+)
+FETCH_MARKERS = ("curl ", "wget ", "urlopen", "requests.get", "fetch(", "http.get", "httpclient", "downloadfile")
+PSL_URL_MARKER = "publicsuffix.org"
+
+_LIBRARY_HINTS: tuple[tuple[str, str], ...] = (
+    ("jre", "jre"),
+    ("jdk", "jre"),
+    ("security", "jre"),
+    ("ddns-scripts", "ddns-scripts"),
+    ("oneforall", "oneforall"),
+    ("python-whois", "python-whois"),
+    ("whois", "python-whois"),
+    ("domain_name", "domain_name"),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Classification:
+    """The classifier's verdict plus its supporting evidence."""
+
+    label: UsageLabel
+    evidence: tuple[str, ...] = field(default=())
+
+
+def _components(path: str) -> list[str]:
+    return [part.lower() for part in path.split("/")]
+
+
+def _library_for(path: str, repo: Repository) -> str:
+    components = _components(path)
+    for hint, library in _LIBRARY_HINTS:
+        if hint in components:
+            return library
+    # Fall back to manifests: a requirements/Gemfile naming the library.
+    manifests = {
+        "requirements.txt": (("oneforall", "oneforall"), ("python-whois", "python-whois")),
+        "gemfile": (("domain_name", "domain_name"),),
+        "pom.xml": (("jre", "jre"),),
+    }
+    for manifest_path, content in repo.files.items():
+        rules = manifests.get(manifest_path.rsplit("/", 1)[-1].lower())
+        if not rules:
+            continue
+        lowered = content.lower()
+        for needle, library in rules:
+            if needle in lowered:
+                return library
+    return "other"
+
+
+def _is_daemon(repo: Repository) -> bool:
+    for path, content in repo.files.items():
+        if path.endswith(".service"):
+            return True
+        if path.rsplit("/", 1)[-1].lower() == "dockerfile" and "--daemon" in content:
+            return True
+        if "systemd" in _components(path):
+            return True
+    return False
+
+
+def classify(repo: Repository) -> Classification | None:
+    """Classify one repository; None when it vendors no list at all."""
+    psl_paths = repo.psl_paths()
+    if not psl_paths:
+        return None
+
+    # Dependency: the list arrives inside a vendored third-party tree.
+    for path in psl_paths:
+        components = _components(path)[:-1]
+        if VENDOR_COMPONENTS & set(components):
+            library = _library_for(path, repo)
+            return Classification(
+                UsageLabel(Strategy.DEPENDENCY, library),
+                evidence=(f"vendored list at {path}", f"library: {library}"),
+            )
+
+    # Updated: something fetches a fresh list from publicsuffix.org.
+    for path, content in sorted(repo.files.items()):
+        if PSL_URL_MARKER not in content:
+            continue
+        basename = path.rsplit("/", 1)[-1].lower()
+        if basename in BUILD_BASENAMES:
+            return Classification(
+                UsageLabel(Strategy.UPDATED, "build"),
+                evidence=(f"build-time fetch in {path}",),
+            )
+        lowered = content.lower()
+        if any(marker in lowered for marker in FETCH_MARKERS):
+            subtype = "server" if _is_daemon(repo) else "user"
+            return Classification(
+                UsageLabel(Strategy.UPDATED, subtype),
+                evidence=(f"runtime fetch in {path}", f"daemon: {subtype == 'server'}"),
+            )
+
+    # Fixed: a hard-coded list with no update path.
+    for path in psl_paths:
+        if TEST_COMPONENTS & set(_components(path)[:-1]):
+            return Classification(
+                UsageLabel(Strategy.FIXED, "test"),
+                evidence=(f"list under test tree: {path}",),
+            )
+    referenced = [
+        path
+        for path, content in repo.files.items()
+        if not path.endswith(".dat") and "public_suffix_list.dat" in content
+    ]
+    if referenced:
+        return Classification(
+            UsageLabel(Strategy.FIXED, "production"),
+            evidence=tuple(f"referenced from {path}" for path in sorted(referenced)[:3]),
+        )
+    return Classification(
+        UsageLabel(Strategy.FIXED, "other"),
+        evidence=("vendored list is never referenced",),
+    )

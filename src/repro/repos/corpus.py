@@ -1,0 +1,335 @@
+"""The synthetic 273-repository corpus.
+
+Faithful to the paper on every published axis:
+
+* **Table 1 marginals** — 68 fixed (43 production / 24 test / 1 other),
+  35 updated (24 build / 8 user / 3 server), 170 dependency with the
+  published per-library split;
+* **Table 3 verbatim** — the 47 datable fixed repositories keep their
+  real names, stars, forks, and list ages; their vendored ``.dat``
+  files are serialized from the synthetic history at exactly the
+  calibrated dates;
+* **datability** — the calibrated age vectors
+  (:mod:`repro.calibrate.ages`) say how many repositories per strategy
+  can be dated; the rest vendor *recent but locally modified* lists
+  whose digest matches no version (modified copies are also what keeps
+  them from inflating Table 2's counts: their base version is newer
+  than every calibrated suffix);
+* **popularity** — star counts for the ten undatable fixed/production
+  repositories are chosen so the paper's claims hold over all 43
+  production projects: exactly 5 with 500+ stars, median 60.
+
+Every repository carries the concrete files the classifier keys on, so
+the taxonomy is re-derived rather than asserted.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from repro.calibrate import ages as calibrated_ages
+from repro.calibrate.words import compound
+from repro.data import paper
+from repro.history.store import VersionStore
+from repro.psl.serialize import serialize_rules
+from repro.repos.commits import synthesize_history
+from repro.repos.model import Repository, Strategy, UsageLabel
+
+# Stars for the 10 undatable fixed/production repositories: 2 of them
+# popular (total 5 production repos with 500+ stars), and placed so the
+# median over all 43 production repos is 60.
+_UNDATABLE_PRODUCTION_STARS = (12, 18, 25, 33, 75, 90, 150, 250, 800, 2300)
+
+_FETCH_SNIPPET = (
+    "import urllib.request\n\n"
+    "PSL_URL = 'https://publicsuffix.org/list/public_suffix_list.dat'\n\n\n"
+    "def refresh_list(target_path):\n"
+    "    \"\"\"Fetch the latest list, falling back to the bundled copy.\"\"\"\n"
+    "    try:\n"
+    "        with urllib.request.urlopen(PSL_URL, timeout=10) as response:\n"
+    "            data = response.read()\n"
+    "    except OSError:\n"
+    "        return target_path  # fall back to the vendored copy\n"
+    "    with open(target_path, 'wb') as handle:\n"
+    "        handle.write(data)\n"
+    "    return target_path\n"
+)
+
+_MAKEFILE_SNIPPET = (
+    "all: data/public_suffix_list.dat build\n\n"
+    "data/public_suffix_list.dat:\n"
+    "\tcurl -sSf -o $@ https://publicsuffix.org/list/public_suffix_list.dat\n\n"
+    "build:\n"
+    "\t$(CC) -o app src/main.c\n"
+)
+
+_SERVICE_SNIPPET = (
+    "[Unit]\nDescription=PSL-aware resolver daemon\n\n"
+    "[Service]\nExecStart=/usr/bin/psl-daemon --listen 0.0.0.0:53\nRestart=always\n"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusConfig:
+    """Corpus-generation knobs."""
+
+    seed: int = 20230701
+    undatable_base_age_range: tuple[int, int] = (60, 350)
+
+
+class _CorpusBuilder:
+    def __init__(self, store: VersionStore, config: CorpusConfig) -> None:
+        self.store = store
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.repos: list[Repository] = []
+        self._used_names: set[str] = set(row.name for row in paper.TABLE3)
+        self._list_cache: dict[datetime.date, str] = {}
+
+    # -- naming ----------------------------------------------------------
+
+    def repo_name(self) -> str:
+        while True:
+            name = f"{compound(self.rng)}/{compound(self.rng)}"
+            if name not in self._used_names:
+                self._used_names.add(name)
+                return name
+
+    # -- vendored list content -------------------------------------------
+
+    def list_text_for_age(self, age_days: int) -> str:
+        """Serialize the list as it stood ``age_days`` before t."""
+        vendor_date = paper.MEASUREMENT_DATE - datetime.timedelta(days=age_days)
+        version = self.store.version_at_date(vendor_date)
+        if version is None:
+            version = self.store.version(0)
+        if version.date not in self._list_cache:
+            self._list_cache[version.date] = serialize_rules(
+                self.store.rules_at(version.index)
+            )
+        return self._list_cache[version.date]
+
+    def modified_list_text(self) -> tuple[str, int]:
+        """(text, base age) for a locally modified, undatable copy.
+
+        Modification is add-only: extra organization-internal rules
+        make the digest match no published version, while every rule
+        of the base version stays present — so modified copies are
+        never "missing" any real suffix and cannot perturb the harm
+        counts.  The base age feeds the commit history (the VCS still
+        knows when the copy landed even though content dating fails).
+        """
+        low, high = self.config.undatable_base_age_range
+        base_age = self.rng.randint(low, high)
+        base = self.list_text_for_age(base_age)
+        extras = "\n".join(
+            f"intranet-{compound(self.rng)}.example" for _ in range(self.rng.randint(1, 3))
+        )
+        return base + extras + "\n", base_age
+
+    def attach_history(self, repo: Repository, list_age_days: int) -> None:
+        """Give ``repo`` a commit log consistent with its metadata.
+
+        The vendoring commit lands exactly ``list_age_days`` before the
+        measurement date; activity cannot predate vendoring, so
+        ``days_since_commit`` is clamped (and re-derived from the log).
+        """
+        vendor_date = paper.MEASUREMENT_DATE - datetime.timedelta(days=list_age_days)
+        last_commit = paper.MEASUREMENT_DATE - datetime.timedelta(days=repo.days_since_commit)
+        if last_commit < vendor_date:
+            last_commit = vendor_date
+        created = min(
+            vendor_date - datetime.timedelta(days=self.rng.randint(30, 2500)),
+            datetime.date(2015, 1, 1),
+        )
+        psl_path = repo.psl_paths()[0]
+        repo.history = synthesize_history(
+            rng=self.rng,
+            created=created,
+            last_commit=last_commit,
+            file_paths=tuple(repo.files),
+            psl_path=psl_path,
+            psl_vendored=vendor_date,
+        )
+        repo.days_since_commit = repo.history.days_since_last_commit(paper.MEASUREMENT_DATE)
+
+    # -- repository factories ----------------------------------------------
+
+    def meta(self, *, stars: int | None = None, active: bool = False) -> tuple[int, int, int]:
+        rng = self.rng
+        if stars is None:
+            stars = max(1, int(rng.paretovariate(1.2) * 4))
+        forks = max(0, int(stars * rng.uniform(0.08, 0.35)))
+        days_since_commit = rng.randint(0, 60) if active else rng.randint(5, 900)
+        return stars, forks, days_since_commit
+
+    def fixed_repo(
+        self,
+        name: str,
+        subtype: str,
+        list_text: str,
+        stars: int,
+        forks: int,
+        days_since_commit: int,
+    ) -> Repository:
+        files: dict[str, str] = {}
+        if subtype == "production":
+            files["src/data/public_suffix_list.dat"] = list_text
+            files["src/main.py"] = (
+                "from pathlib import Path\n\n"
+                "LIST_PATH = Path(__file__).parent / 'data' / 'public_suffix_list.dat'\n\n\n"
+                "def load_rules():\n"
+                "    \"\"\"Parse the bundled public_suffix_list.dat.\"\"\"\n"
+                "    return LIST_PATH.read_text().splitlines()\n"
+            )
+        elif subtype == "test":
+            files["tests/fixtures/public_suffix_list.dat"] = list_text
+            files["tests/test_domains.py"] = (
+                "def test_suffix_grouping(fixture_psl):\n"
+                "    assert fixture_psl.suffix('a.example.com') == 'com'\n"
+            )
+        else:
+            files["resources/misc/public_suffix_list.dat"] = list_text
+            files["README.md"] = "# Archived experiments\n"
+        return Repository(
+            name=name,
+            stars=stars,
+            forks=forks,
+            days_since_commit=days_since_commit,
+            files=files,
+            truth=UsageLabel(Strategy.FIXED, subtype),
+        )
+
+    def updated_repo(self, subtype: str, list_text: str) -> Repository:
+        stars, forks, days = self.meta()
+        files: dict[str, str] = {}
+        if subtype == "build":
+            files["data/public_suffix_list.dat"] = list_text
+            files["Makefile"] = _MAKEFILE_SNIPPET
+        else:
+            files["app/data/public_suffix_list.dat"] = list_text
+            files["app/updater.py"] = _FETCH_SNIPPET
+            if subtype == "server":
+                files["deploy/psl-daemon.service"] = _SERVICE_SNIPPET
+        return Repository(
+            name=self.repo_name(),
+            stars=stars,
+            forks=forks,
+            days_since_commit=days,
+            files=files,
+            truth=UsageLabel(Strategy.UPDATED, subtype),
+        )
+
+    def dependency_repo(self, library: str, list_text: str) -> Repository:
+        stars, forks, days = self.meta()
+        files: dict[str, str] = {}
+        if library == "jre":
+            files["vendor/jre/lib/security/public_suffix_list.dat"] = list_text
+            files["pom.xml"] = "<project><!-- bundled jre runtime --></project>\n"
+            files["src/main/java/App.java"] = (
+                "public class App {\n"
+                "    public static void main(String[] args) {\n"
+                "        System.out.println(\"service starting\");\n"
+                "    }\n"
+                "}\n"
+            )
+        elif library == "ddns-scripts":
+            files["package/ddns-scripts/files/public_suffix_list.dat"] = list_text
+            files["package/ddns-scripts/files/dynamic_dns_functions.sh"] = "#!/bin/sh\n# ddns helpers\n"
+        elif library == "oneforall":
+            files["vendor/oneforall/data/public_suffix_list.dat"] = list_text
+            files["requirements.txt"] = "oneforall==0.4.5\nrequests\n"
+            files["scanner.py"] = "def enumerate_subdomains(domain):\n    return []\n"
+        elif library == "python-whois":
+            files["vendor/python-whois/data/public_suffix_list.dat"] = list_text
+            files["requirements.txt"] = "python-whois==0.8.0\n"
+            files["lookup.py"] = "def whois(domain):\n    raise NotImplementedError\n"
+        elif library == "domain_name":
+            files["vendor/domain_name/data/public_suffix_list.dat"] = list_text
+            files["Gemfile"] = "source 'https://rubygems.org'\ngem 'domain_name'\n"
+            files["lib/resolver.rb"] = "module Resolver\nend\n"
+        else:
+            files["third_party/psl/public_suffix_list.dat"] = list_text
+            files["third_party/psl/README"] = "Imported list snapshot.\n"
+        return Repository(
+            name=self.repo_name(),
+            stars=stars,
+            forks=forks,
+            days_since_commit=days,
+            files=files,
+            truth=UsageLabel(Strategy.DEPENDENCY, library),
+        )
+
+
+def build_corpus(store: VersionStore, config: CorpusConfig | None = None) -> list[Repository]:
+    """Build all 273 repositories against one synthetic history."""
+    config = config or CorpusConfig()
+    builder = _CorpusBuilder(store, config)
+    rng = builder.rng
+    repos = builder.repos
+
+    # -- fixed, datable: Table 3 verbatim ---------------------------------
+    for row in paper.TABLE3:
+        list_text = builder.list_text_for_age(row.age_days)
+        active = row.stars >= 1000
+        days = rng.randint(0, 45) if active else rng.randint(10, 700)
+        repo = builder.fixed_repo(row.name, row.subtype, list_text, row.stars, row.forks, days)
+        builder.attach_history(repo, row.age_days)
+        repos.append(repo)
+
+    # -- fixed, undatable ---------------------------------------------------
+    for stars in _UNDATABLE_PRODUCTION_STARS:
+        forks = max(0, int(stars * rng.uniform(0.08, 0.3)))
+        text, base_age = builder.modified_list_text()
+        repo = builder.fixed_repo(
+            builder.repo_name(), "production", text, stars, forks, rng.randint(5, 700)
+        )
+        builder.attach_history(repo, base_age)
+        repos.append(repo)
+    undatable_test = paper.TABLE1["fixed"]["test"] - len(paper.table3_rows("test"))
+    for _ in range(undatable_test):
+        stars, forks, days = builder.meta()
+        text, base_age = builder.modified_list_text()
+        repo = builder.fixed_repo(builder.repo_name(), "test", text, stars, forks, days)
+        builder.attach_history(repo, base_age)
+        repos.append(repo)
+
+    # -- updated --------------------------------------------------------------
+    updated_subtypes = (
+        ["build"] * paper.TABLE1["updated"]["build"]
+        + ["user"] * paper.TABLE1["updated"]["user"]
+        + ["server"] * paper.TABLE1["updated"]["server"]
+    )
+    updated_texts = [
+        (builder.list_text_for_age(age), age) for age in calibrated_ages.updated_ages()
+    ]
+    updated_texts += [
+        builder.modified_list_text()
+        for _ in range(len(updated_subtypes) - len(updated_texts))
+    ]
+    rng.shuffle(updated_texts)
+    for subtype, (text, age) in zip(updated_subtypes, updated_texts):
+        repo = builder.updated_repo(subtype, text)
+        builder.attach_history(repo, age)
+        repos.append(repo)
+
+    # -- dependency -------------------------------------------------------------
+    libraries: list[str] = []
+    for library, count in paper.TABLE1["dependency"].items():
+        libraries.extend([library] * count)
+    dependency_texts = [
+        (builder.list_text_for_age(age), age) for age in calibrated_ages.dependency_ages()
+    ]
+    dependency_texts += [
+        builder.modified_list_text()
+        for _ in range(len(libraries) - len(dependency_texts))
+    ]
+    rng.shuffle(dependency_texts)
+    for library, (text, age) in zip(libraries, dependency_texts):
+        repo = builder.dependency_repo(library, text)
+        builder.attach_history(repo, age)
+        repos.append(repo)
+
+    return repos

@@ -1,0 +1,180 @@
+"""Dating vendored lists against the version history.
+
+Two paths:
+
+* **exact** — hash the vendored rule lines into the order-independent
+  set digest and look it up in the store's digest index.  Byte-level
+  noise (comments, blank lines, rule order) does not matter; the
+  digest is over canonical rule texts.  This is the paper's "where the
+  age of the list can be obtained" case.
+* **nearest** — for locally modified lists: anchor on the newest rule
+  the vendored list shares with the history (a list cannot be older
+  than its newest rule), then probe versions around that anchor for
+  the smallest symmetric difference.  Returns a confidence in (0, 1);
+  the analyses treat anything below 1.0 as undatable, while
+  ``psl-doctor`` still uses it for risk estimates.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.data import paper
+from repro.history.store import VersionStore
+from repro.history.timeline import rule_addition_dates
+from repro.history.version import rule_digest
+from repro.psl.parser import ICANN_BEGIN, ICANN_END, PRIVATE_BEGIN, PRIVATE_END
+
+
+@dataclass(frozen=True, slots=True)
+class DatingResult:
+    """Outcome of dating one vendored list."""
+
+    version_index: int
+    date: datetime.date
+    confidence: float
+    method: str  # "exact" | "nearest"
+
+    def age_at(self, reference: datetime.date = paper.MEASUREMENT_DATE) -> int:
+        """List age in days at ``reference`` (Figure 3's quantity)."""
+        return (reference - self.date).days
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the vendored rules match a version bit-for-bit."""
+        return self.method == "exact"
+
+
+def extract_rule_lines(text: str) -> list[str]:
+    """The canonical rule lines of ``.dat`` text (comments stripped)."""
+    lines: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("//"):
+            continue
+        lines.append(line)
+    return lines
+
+
+def list_set_digest(text: str) -> int:
+    """Order-independent digest of the rules in ``.dat`` text.
+
+    Matches :attr:`repro.history.version.PslVersion.set_digest` when —
+    and only when — the rule sets are equal, regardless of formatting.
+    """
+    digest = 0
+    for line in set(extract_rule_lines(text)):
+        digest ^= rule_digest(line)
+    return digest
+
+
+class ListDater:
+    """Dates vendored lists against one history.
+
+    Construction precomputes the rule-addition-date map used by the
+    nearest-match fallback; dating itself is then O(1) for exact
+    matches and O(probe window) otherwise.
+    """
+
+    def __init__(self, store: VersionStore) -> None:
+        self._store = store
+        self._added = rule_addition_dates(store)
+        self._text_sets: dict[int, frozenset[str]] = {}
+
+    def _texts_at(self, index: int) -> frozenset[str]:
+        cached = self._text_sets.get(index)
+        if cached is None:
+            cached = frozenset(rule.text for rule in self._store.rules_at(index))
+            self._text_sets[index] = cached
+        return cached
+
+    def date_text(self, text: str) -> DatingResult | None:
+        """Date ``.dat`` file content; None when nothing matches at all."""
+        rules = set(extract_rule_lines(text))
+        if not rules:
+            return None
+        digest = 0
+        for line in rules:
+            digest ^= rule_digest(line)
+        version = self._store.find_by_digest(digest)
+        if version is not None:
+            return DatingResult(
+                version_index=version.index,
+                date=version.date,
+                confidence=1.0,
+                method="exact",
+            )
+        return self._nearest(rules)
+
+    def _nearest(self, rules: set[str]) -> DatingResult | None:
+        known_dates = [self._added[text] for text in rules if text in self._added]
+        if not known_dates:
+            return None
+        anchor = self._store.version_at_date(max(known_dates))
+        if anchor is None:
+            return None
+        # Probe a window of versions around the anchor for the best fit.
+        best_index = anchor.index
+        best_diff: int | None = None
+        low = max(0, anchor.index - 8)
+        high = min(len(self._store) - 1, anchor.index + 8)
+        for index in range(low, high + 1):
+            diff = len(self._texts_at(index) ^ rules)
+            if best_diff is None or diff < best_diff:
+                best_diff = diff
+                best_index = index
+        assert best_diff is not None
+        version = self._store.version(best_index)
+        confidence = max(0.0, 1.0 - best_diff / max(len(rules), 1))
+        if best_diff == 0:
+            # Equal rule set that the digest missed can only mean digest
+            # collision; treat as exact anyway.
+            return DatingResult(version.index, version.date, 1.0, "exact")
+        return DatingResult(version.index, version.date, confidence, "nearest")
+
+
+def date_list_text(store: VersionStore, text: str) -> DatingResult | None:
+    """One-shot convenience wrapper around :class:`ListDater`."""
+    return ListDater(store).date_text(text)
+
+
+def date_by_vcs(repo, reference: datetime.date = paper.MEASUREMENT_DATE) -> int | None:
+    """Age estimate from commit metadata: days since the vendored list
+    was last touched.
+
+    The auditor's ``git log -1 -- public_suffix_list.dat`` signal: an
+    *upper bound* on content age that works even for locally modified
+    copies content dating rejects.  None when the repository carries no
+    history or the list was never committed.
+    """
+    if repo.history is None:
+        return None
+    paths = repo.psl_paths()
+    if not paths:
+        return None
+    return repo.history.vendored_list_age(paths[0], reference)
+
+
+def strip_private_division(text: str) -> str:
+    """Drop the PRIVATE division from ``.dat`` text.
+
+    Some real projects vendor ICANN-only variants; the failure-injection
+    tests use this to exercise dating and harm analysis on them.
+    """
+    lines: list[str] = []
+    in_private = False
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if stripped == PRIVATE_BEGIN:
+            in_private = True
+            continue
+        if stripped == PRIVATE_END:
+            in_private = False
+            continue
+        if stripped in (ICANN_BEGIN, ICANN_END):
+            lines.append(raw)
+            continue
+        if not in_private:
+            lines.append(raw)
+    return "\n".join(lines) + "\n"

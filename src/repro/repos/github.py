@@ -1,0 +1,175 @@
+"""A GitHub-REST-like façade over the corpus.
+
+The paper's discovery and disclosure both went through GitHub (file
+search via Sourcegraph, notifications via issues).  This module gives
+the corpus that interface so the whole study can be scripted the way
+it would be against the real service:
+
+* ``search_code`` — filename/content code search (Sourcegraph-shaped);
+* ``get_repo`` / ``get_contents`` — repository metadata and file reads;
+* ``create_issue`` / ``list_issues`` — the disclosure channel, with a
+  per-call budget standing in for API rate limits so batch scripts are
+  forced to handle exhaustion, as against the real API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.repos.model import Repository
+from repro.repos.search import SearchIndex
+
+
+class RateLimitExceeded(RuntimeError):
+    """Raised when the simulated API budget is exhausted."""
+
+
+@dataclass(frozen=True, slots=True)
+class RepoInfo:
+    """The metadata slice of a repository the paper records."""
+
+    full_name: str
+    stargazers_count: int
+    forks_count: int
+    days_since_last_commit: int
+
+
+@dataclass(frozen=True, slots=True)
+class CodeSearchHit:
+    """One code-search result."""
+
+    repository: str
+    path: str
+
+
+@dataclass(slots=True)
+class Issue:
+    """A filed issue."""
+
+    number: int
+    repository: str
+    title: str
+    body: str
+    labels: tuple[str, ...] = ()
+    state: str = "open"
+
+
+@dataclass
+class GitHubApi:
+    """The façade.  ``budget`` is the remaining API-call allowance."""
+
+    repos: Iterable[Repository]
+    budget: int = 5000
+
+    _index: SearchIndex = field(init=False)
+    _by_name: dict[str, Repository] = field(init=False)
+    _issues: dict[str, list[Issue]] = field(init=False, default_factory=dict)
+    _issue_counter: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        repos = list(self.repos)
+        self._index = SearchIndex(repos)
+        self._by_name = {repo.name: repo for repo in repos}
+
+    # -- accounting -----------------------------------------------------------
+
+    def _spend(self, cost: int = 1) -> None:
+        if self.budget < cost:
+            raise RateLimitExceeded(f"API budget exhausted (needed {cost})")
+        self.budget -= cost
+
+    @property
+    def remaining_budget(self) -> int:
+        return self.budget
+
+    # -- read endpoints ----------------------------------------------------------
+
+    def search_code(self, *, filename: str | None = None, content: str | None = None) -> list[CodeSearchHit]:
+        """Code search by filename and/or content substring."""
+        if filename is None and content is None:
+            raise ValueError("search_code needs a filename or content query")
+        self._spend(1)
+        if filename is not None:
+            hits = [
+                CodeSearchHit(hit.repository, hit.path)
+                for hit in self._index.find_filename(filename)
+            ]
+            if content is not None:
+                hits = [
+                    hit
+                    for hit in hits
+                    if content in self._by_name[hit.repository].files[hit.path]
+                ]
+            return hits
+        return [CodeSearchHit(h.repository, h.path) for h in self._index.grep(content)]
+
+    def get_repo(self, full_name: str) -> RepoInfo:
+        """Repository metadata; KeyError for unknown names."""
+        self._spend(1)
+        repo = self._by_name[full_name]
+        return RepoInfo(
+            full_name=repo.name,
+            stargazers_count=repo.stars,
+            forks_count=repo.forks,
+            days_since_last_commit=repo.days_since_commit,
+        )
+
+    def get_contents(self, full_name: str, path: str) -> str:
+        """One file's content; KeyError when absent."""
+        self._spend(1)
+        return self._by_name[full_name].files[path]
+
+    # -- write endpoints -----------------------------------------------------------
+
+    def create_issue(self, full_name: str, title: str, body: str, labels: tuple[str, ...] = ()) -> Issue:
+        """File an issue against a repository."""
+        self._spend(1)
+        if full_name not in self._by_name:
+            raise KeyError(full_name)
+        self._issue_counter += 1
+        issue = Issue(
+            number=self._issue_counter,
+            repository=full_name,
+            title=title,
+            body=body,
+            labels=labels,
+        )
+        self._issues.setdefault(full_name, []).append(issue)
+        return issue
+
+    def list_issues(self, full_name: str, state: str = "open") -> list[Issue]:
+        """Issues filed against one repository."""
+        self._spend(1)
+        return [issue for issue in self._issues.get(full_name, []) if issue.state == state]
+
+    def close_issue(self, full_name: str, number: int) -> None:
+        """Mark an issue closed."""
+        self._spend(1)
+        for issue in self._issues.get(full_name, []):
+            if issue.number == number:
+                issue.state = "closed"
+                return
+        raise KeyError(f"{full_name}#{number}")
+
+
+def file_campaign(api: GitHubApi, notifications) -> list[Issue]:
+    """Deliver a notification campaign through the API.
+
+    Stops cleanly on rate-limit exhaustion and returns what was filed —
+    the caller can resume with a fresh budget, as against the real API.
+    """
+    filed: list[Issue] = []
+    for note in notifications:
+        try:
+            filed.append(
+                api.create_issue(
+                    note.repository,
+                    note.title,
+                    note.body,
+                    labels=("privacy", f"severity:{note.severity}"),
+                )
+            )
+        except RateLimitExceeded:
+            break
+    return filed

@@ -1,0 +1,77 @@
+"""Repository model and usage-taxonomy labels."""
+
+from __future__ import annotations
+
+import enum
+import typing
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:
+    from repro.repos.commits import RepositoryHistory
+
+PSL_FILENAME = "public_suffix_list.dat"
+
+
+class Strategy(enum.Enum):
+    """Top-level integration strategies (paper Section 4)."""
+
+    FIXED = "fixed"
+    UPDATED = "updated"
+    DEPENDENCY = "dependency"
+
+
+FIXED_SUBTYPES = ("production", "test", "other")
+UPDATED_SUBTYPES = ("build", "user", "server")
+DEPENDENCY_LIBRARIES = ("jre", "ddns-scripts", "oneforall", "python-whois", "domain_name", "other")
+
+
+@dataclass(frozen=True, slots=True)
+class UsageLabel:
+    """A (strategy, subtype) pair.
+
+    For dependencies the subtype names the library the list arrives
+    through, mirroring Table 1's breakdown.
+    """
+
+    strategy: Strategy
+    subtype: str
+
+    def __post_init__(self) -> None:
+        valid = {
+            Strategy.FIXED: FIXED_SUBTYPES,
+            Strategy.UPDATED: UPDATED_SUBTYPES,
+            Strategy.DEPENDENCY: DEPENDENCY_LIBRARIES,
+        }[self.strategy]
+        if self.subtype not in valid:
+            raise ValueError(f"invalid subtype {self.subtype!r} for {self.strategy}")
+
+
+@dataclass(slots=True)
+class Repository:
+    """One synthetic repository.
+
+    ``files`` maps repository-relative paths to text content.
+    ``truth`` is the generator's ground-truth label, kept so tests can
+    check the classifier against it; the analyses use the *classifier's*
+    output, as the paper's authors used their manual labels.
+    ``history`` is the commit log (when the generator attached one);
+    ``days_since_commit`` always agrees with it.
+    """
+
+    name: str
+    stars: int
+    forks: int
+    days_since_commit: int
+    files: dict[str, str] = field(default_factory=dict)
+    truth: UsageLabel | None = None
+    history: "RepositoryHistory | None" = None
+
+    def psl_paths(self) -> list[str]:
+        """Paths of vendored public-suffix-list files."""
+        return sorted(
+            path for path in self.files if path.rsplit("/", 1)[-1] == PSL_FILENAME
+        )
+
+    def file_names(self) -> list[str]:
+        """All file basenames (used by the search index)."""
+        return [path.rsplit("/", 1)[-1] for path in self.files]

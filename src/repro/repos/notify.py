@@ -1,0 +1,89 @@
+"""Maintainer notification reports.
+
+The paper: "We sought to notify the maintainers of those projects of
+our findings, either privately … or by opening a GitHub issue
+explaining the correct use of the public suffix list."  This module
+renders that issue text from a repository's classification and dating
+results, so the pipeline ends where the study did — with actionable
+output per affected project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import paper
+from repro.repos.classifier import Classification
+from repro.repos.dating import DatingResult
+from repro.repos.model import Repository, Strategy
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """One maintainer notification, ready to file as an issue."""
+
+    repository: str
+    title: str
+    body: str
+    severity: str  # "high" | "medium" | "low"
+
+
+def _severity(classification: Classification, age_days: int | None) -> str:
+    if classification.label.strategy is Strategy.FIXED and classification.label.subtype == "production":
+        return "high"
+    if classification.label.strategy is Strategy.UPDATED and classification.label.subtype == "server":
+        return "high"
+    if age_days is not None and age_days > 730:
+        return "medium"
+    return "low"
+
+
+def build_notification(
+    repo: Repository,
+    classification: Classification,
+    dating: DatingResult | None,
+    missing_etlds: int = 0,
+    missing_hostnames: int = 0,
+) -> Notification:
+    """Render the notification for one affected repository."""
+    age = dating.age_at() if dating and dating.is_exact else None
+    severity = _severity(classification, age)
+    label = classification.label
+
+    lines = [
+        f"## Outdated Public Suffix List in {repo.name}",
+        "",
+        "This project vendors a copy of the Public Suffix List "
+        "(`public_suffix_list.dat`). The PSL defines privacy boundaries "
+        "between domains; using an outdated copy can group unrelated "
+        "domains into one boundary (cookie sharing, password autofill "
+        "across organizations).",
+        "",
+        f"* Integration strategy: **{label.strategy.value} / {label.subtype}**",
+    ]
+    if age is not None:
+        lines.append(
+            f"* Vendored list age: **{age} days** (as of {paper.MEASUREMENT_DATE.isoformat()})"
+        )
+    else:
+        lines.append("* Vendored list age: could not be matched to any published version")
+    if missing_etlds:
+        lines.append(
+            f"* Missing suffix rules with live traffic: **{missing_etlds} eTLDs**, "
+            f"affecting **{missing_hostnames} hostnames** in a recent crawl"
+        )
+    lines.extend(
+        [
+            "",
+            "### Recommended fix",
+            "",
+            "Fetch the list at runtime (with a bundled copy only as a "
+            "fallback), or at minimum refresh the bundled copy on every "
+            "release. The canonical source is "
+            "<https://publicsuffix.org/list/public_suffix_list.dat>.",
+            "",
+            "Evidence: " + "; ".join(classification.evidence),
+        ]
+    )
+    title = f"Outdated Public Suffix List ({age} days old)" if age is not None else "Outdated Public Suffix List"
+    return Notification(repository=repo.name, title=title, body="\n".join(lines), severity=severity)

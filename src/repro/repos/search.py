@@ -1,0 +1,73 @@
+"""Sourcegraph-like search over the repository corpus.
+
+The paper's discovery step: "we perform a search for files named
+``public_suffix_list.dat`` in public GitHub repositories".  The index
+supports exactly that query shape — filename match across every
+repository — plus content search, which the psl-doctor examples use to
+find update logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.repos.model import Repository
+
+
+@dataclass(frozen=True, slots=True)
+class SearchHit:
+    """One matching file."""
+
+    repository: str
+    path: str
+
+
+class SearchIndex:
+    """Filename and content search across a corpus."""
+
+    def __init__(self, repos: Iterable[Repository]) -> None:
+        self._repos: dict[str, Repository] = {}
+        self._by_basename: dict[str, list[SearchHit]] = {}
+        for repo in repos:
+            if repo.name in self._repos:
+                raise ValueError(f"duplicate repository name {repo.name!r}")
+            self._repos[repo.name] = repo
+            for path in repo.files:
+                basename = path.rsplit("/", 1)[-1].lower()
+                self._by_basename.setdefault(basename, []).append(
+                    SearchHit(repository=repo.name, path=path)
+                )
+
+    def __len__(self) -> int:
+        return len(self._repos)
+
+    def repository(self, name: str) -> Repository:
+        """Look one repository up by name."""
+        return self._repos[name]
+
+    def find_filename(self, filename: str) -> list[SearchHit]:
+        """All files with this exact basename (case-insensitive)."""
+        return sorted(
+            self._by_basename.get(filename.lower(), []),
+            key=lambda hit: (hit.repository, hit.path),
+        )
+
+    def repositories_with_file(self, filename: str) -> list[Repository]:
+        """Distinct repositories containing a file with this basename.
+
+        This is the paper's discovery query; over the full corpus it
+        returns all 273 repositories.
+        """
+        names = {hit.repository for hit in self.find_filename(filename)}
+        return [self._repos[name] for name in sorted(names)]
+
+    def grep(self, needle: str) -> list[SearchHit]:
+        """All files whose content contains ``needle``."""
+        hits: list[SearchHit] = []
+        for name in sorted(self._repos):
+            repo = self._repos[name]
+            for path in sorted(repo.files):
+                if needle in repo.files[path]:
+                    hits.append(SearchHit(repository=name, path=path))
+        return hits

@@ -1,0 +1,127 @@
+"""A Sourcegraph-like query interface over the corpus.
+
+The paper's discovery step ran through the Sourcegraph API ("we make
+use of the Sourcegraph API, and perform a search for files named
+public_suffix_list.dat in public GitHub repositories").  This module
+implements the slice of Sourcegraph's query language that workflow
+uses, over the corpus:
+
+    file:public_suffix_list.dat
+    file:\\.dat$ content:"===BEGIN ICANN DOMAINS==="
+    repo:bitwarden/ file:public_suffix_list.dat
+    content:publicsuffix.org count:50
+
+Filters: ``file:`` (regex over paths), ``repo:`` (regex over names),
+``content:`` (substring, quoted or bare), ``count:`` (result cap).
+Bare terms are content substrings, as in Sourcegraph's literal mode.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.repos.model import Repository
+
+
+class QueryError(ValueError):
+    """Raised for unparseable queries or invalid filter regexes."""
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A parsed query."""
+
+    file_patterns: tuple[str, ...] = ()
+    repo_patterns: tuple[str, ...] = ()
+    content_terms: tuple[str, ...] = ()
+    count: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class FileMatch:
+    """One search result."""
+
+    repository: str
+    path: str
+
+
+def parse_query(query: str) -> Query:
+    """Parse a query string into filters.
+
+    >>> parse_query('repo:bitwarden/ file:core content:"BEGIN ICANN"')
+    Query(file_patterns=('core',), repo_patterns=('bitwarden/',), content_terms=('BEGIN ICANN',), count=None)
+    """
+    if query.count('"') % 2:
+        raise QueryError(f"unbalanced quoting in {query!r}")
+    # Whitespace-split, but keep double-quoted spans (with their spaces)
+    # as single tokens.  Deliberately NOT shlex: regex filters rely on
+    # backslashes surviving tokenization (file:\.dat$).
+    raw_tokens = re.findall(r'[^\s"]*"[^"]*"|\S+', query)
+    tokens = [token.replace('"', "") for token in raw_tokens]
+    if not tokens:
+        raise QueryError("empty query")
+
+    files: list[str] = []
+    repos: list[str] = []
+    contents: list[str] = []
+    count: int | None = None
+    for token in tokens:
+        key, sep, value = token.partition(":")
+        if sep and key == "file":
+            files.append(value)
+        elif sep and key == "repo":
+            repos.append(value)
+        elif sep and key == "content":
+            contents.append(value)
+        elif sep and key == "count":
+            try:
+                count = int(value)
+            except ValueError as error:
+                raise QueryError(f"count: wants an integer, got {value!r}") from error
+        else:
+            contents.append(token)
+    return Query(
+        file_patterns=tuple(files),
+        repo_patterns=tuple(repos),
+        content_terms=tuple(contents),
+        count=count,
+    )
+
+
+class SourcegraphApi:
+    """Executes queries over a repository corpus."""
+
+    def __init__(self, repos: Iterable[Repository]) -> None:
+        self._repos = list(repos)
+
+    def search(self, query_text: str) -> list[FileMatch]:
+        """Run one query; results are (repository, path) pairs."""
+        query = parse_query(query_text)
+        try:
+            file_regexes = [re.compile(p) for p in query.file_patterns]
+            repo_regexes = [re.compile(p) for p in query.repo_patterns]
+        except re.error as error:
+            raise QueryError(f"invalid filter regex: {error}") from error
+
+        matches: list[FileMatch] = []
+        for repo in sorted(self._repos, key=lambda r: r.name):
+            if repo_regexes and not all(rx.search(repo.name) for rx in repo_regexes):
+                continue
+            for path in sorted(repo.files):
+                if file_regexes and not all(rx.search(path) for rx in file_regexes):
+                    continue
+                content = repo.files[path]
+                if query.content_terms and not all(
+                    term in content for term in query.content_terms
+                ):
+                    continue
+                matches.append(FileMatch(repository=repo.name, path=path))
+                if query.count is not None and len(matches) >= query.count:
+                    return matches
+        return matches
+
+    def repositories_matching(self, query_text: str) -> list[str]:
+        """Distinct repository names with at least one file match."""
+        return sorted({match.repository for match in self.search(query_text)})

@@ -1,0 +1,47 @@
+"""HTTP-Archive-like web traffic substrate.
+
+The paper interprets the hostnames of the HTTP Archive's July 2022
+desktop snapshot under every historical PSL version.  This package
+models that dataset and the operations over it:
+
+* :mod:`repro.webgraph.records` — pages and requests;
+* :mod:`repro.webgraph.archive` — the snapshot container with JSONL
+  persistence;
+* :mod:`repro.webgraph.sites` — eTLD+1 site grouping, including the
+  incremental regrouper that makes the 1,142-version sweep tractable;
+* :mod:`repro.webgraph.thirdparty` — third-party request
+  classification (Figure 6);
+* :mod:`repro.webgraph.synthesis` — the deterministic crawl-snapshot
+  generator calibrated against the paper's harm schedule.
+"""
+
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.crawler import Crawler, Document, SyntheticWeb
+from repro.webgraph.records import Page
+from repro.webgraph.sites import IncrementalGrouper, group_sites, site_metrics
+from repro.webgraph.stats import site_size_fit, snapshot_statistics
+from repro.webgraph.stream import count_sites_streaming, count_third_party_streaming
+from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
+from repro.webgraph.tables import Table, hostnames_table, requests_table
+from repro.webgraph.thirdparty import count_third_party
+
+__all__ = [
+    "Crawler",
+    "Document",
+    "IncrementalGrouper",
+    "Page",
+    "Snapshot",
+    "SnapshotConfig",
+    "SyntheticWeb",
+    "Table",
+    "count_sites_streaming",
+    "count_third_party",
+    "count_third_party_streaming",
+    "group_sites",
+    "hostnames_table",
+    "requests_table",
+    "site_metrics",
+    "site_size_fit",
+    "snapshot_statistics",
+    "synthesize_snapshot",
+]

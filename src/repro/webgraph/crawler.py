@@ -1,0 +1,141 @@
+"""The crawl-collection layer: from a synthetic web to a snapshot.
+
+The HTTP Archive's tables are produced by loading a URL list (sourced
+from the Chrome User Experience Report) in an instrumented browser and
+recording every subresource request.  This module models that
+collection path, so snapshots can also be *crawled* rather than
+directly synthesized:
+
+* :class:`SyntheticWeb` — an origin server map: hostname -> document
+  (subresource references, links to other pages, optional redirect);
+* :class:`Crawler` — loads a URL list, follows redirects, records one
+  :class:`~repro.webgraph.records.Page` per successful load, and
+  optionally discovers further pages through links up to a depth
+  budget, deterministically.
+
+The paper's pipeline consumes only the resulting snapshot, so crawled
+and synthesized snapshots are interchangeable downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.net.hostname import normalize_hostname
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.records import Page
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """What a host serves: subresources, outlinks, maybe a redirect."""
+
+    subresources: tuple[str, ...] = ()
+    links: tuple[str, ...] = ()
+    redirect_to: str | None = None
+
+
+@dataclass(slots=True)
+class CrawlStats:
+    """Bookkeeping for one crawl run."""
+
+    loaded: int = 0
+    redirects_followed: int = 0
+    failures: int = 0
+    skipped_duplicates: int = 0
+
+
+class SyntheticWeb:
+    """A host -> document map standing in for the live web."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, Document] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def serve(self, host: str, document: Document) -> None:
+        """Publish a document at ``host`` (normalized)."""
+        self._documents[normalize_hostname(host)] = document
+
+    def fetch(self, host: str) -> Document | None:
+        """The document at ``host``, or None (connection failure)."""
+        return self._documents.get(host)
+
+    def hosts(self) -> tuple[str, ...]:
+        return tuple(sorted(self._documents))
+
+
+class Crawler:
+    """Deterministic breadth-first page loader."""
+
+    MAX_REDIRECTS = 5
+
+    def __init__(self, web: SyntheticWeb, *, max_pages: int = 10_000, link_depth: int = 0) -> None:
+        self._web = web
+        self._max_pages = max_pages
+        self._link_depth = link_depth
+        self.stats = CrawlStats()
+
+    def _load(self, host: str) -> tuple[str, Document] | None:
+        """Follow redirects from ``host`` to a final (host, document)."""
+        current = host
+        for _ in range(self.MAX_REDIRECTS + 1):
+            document = self._web.fetch(current)
+            if document is None:
+                self.stats.failures += 1
+                return None
+            if document.redirect_to is None:
+                return current, document
+            self.stats.redirects_followed += 1
+            current = normalize_hostname(document.redirect_to)
+        self.stats.failures += 1  # redirect loop
+        return None
+
+    def crawl(self, seed_hosts: Iterable[str], *, label: str = "crawled") -> Snapshot:
+        """Load every seed (and linked pages up to the depth budget)."""
+        snapshot = Snapshot(label=label)
+        visited: set[str] = set()
+        frontier: list[tuple[str, int]] = [
+            (normalize_hostname(host), 0) for host in seed_hosts
+        ]
+        position = 0
+        while position < len(frontier) and self.stats.loaded < self._max_pages:
+            host, depth = frontier[position]
+            position += 1
+            if host in visited:
+                self.stats.skipped_duplicates += 1
+                continue
+            visited.add(host)
+            loaded = self._load(host)
+            if loaded is None:
+                continue
+            final_host, document = loaded
+            if final_host in visited and final_host != host:
+                self.stats.skipped_duplicates += 1
+                continue
+            visited.add(final_host)
+            self.stats.loaded += 1
+            snapshot.add_page(
+                Page(host=final_host, request_hosts=tuple(document.subresources))
+            )
+            if depth < self._link_depth:
+                for link in document.links:
+                    frontier.append((normalize_hostname(link), depth + 1))
+        return snapshot
+
+
+def web_from_snapshot(snapshot: Snapshot) -> SyntheticWeb:
+    """Reconstruct a servable web from an existing snapshot.
+
+    Pages become documents with their request hosts as subresources;
+    request-only hosts serve empty documents.  Crawling the page hosts
+    of the result reproduces the snapshot (the round-trip test).
+    """
+    web = SyntheticWeb()
+    for host in snapshot.hostnames:
+        web.serve(host, Document())
+    for page in snapshot.pages:
+        web.serve(page.host, Document(subresources=page.request_hosts))
+    return web

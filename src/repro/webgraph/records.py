@@ -1,0 +1,32 @@
+"""Page and request records.
+
+The paper's unit of analysis is the hostname: its methodology strips
+every crawl URL to the domain-name component before suffix matching.
+Pages therefore carry hostnames rather than full URLs; the request
+list preserves multiplicity (one page fetching the same third-party
+host several times counts several requests, as in the HTTP Archive's
+request tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Page:
+    """One crawled page: its own host plus the hosts it requested."""
+
+    host: str
+    request_hosts: tuple[str, ...]
+
+    @property
+    def request_count(self) -> int:
+        """Number of subresource requests issued by the page."""
+        return len(self.request_hosts)
+
+    def hosts(self) -> Iterator[str]:
+        """The page host followed by every requested host."""
+        yield self.host
+        yield from self.request_hosts

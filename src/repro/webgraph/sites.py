@@ -1,0 +1,160 @@
+"""Site grouping: partitioning hostnames into privacy boundaries.
+
+The paper's methodology (Section 5): determine each unique hostname's
+suffix under a given PSL version and group hostnames into sites
+(eTLD+1).  Two implementations:
+
+* :func:`group_sites` — the straightforward one-shot grouping used for
+  a single list version;
+* :class:`IncrementalGrouper` — maintains the grouping *across* list
+  versions by re-examining only hostnames under rules a delta touched.
+  This is what makes sweeping all 1,142 versions tractable: a typical
+  delta touches a handful of rules covering a tiny fraction of the
+  hostname universe.
+
+Both share one site function so the incremental path is exactly as
+correct as the one-shot path (the property tests cross-check them).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.psl.diff import RuleDelta
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule, RuleKind
+from repro.psl.trie import SuffixTrie
+
+
+def site_for(trie: SuffixTrie, labels: tuple[str, ...]) -> str:
+    """The site (eTLD+1, or the bare suffix) for pre-split labels.
+
+    ``labels`` are the hostname's labels left to right.  This is the
+    hot loop of the whole reproduction, so it works on the raw trie
+    rather than the :class:`PublicSuffixList` facade (no IDNA pass, no
+    dataclass allocation).
+    """
+    rule = trie.prevailing(tuple(reversed(labels)))
+    if rule is None:
+        suffix_length = 1
+    elif rule.kind is RuleKind.EXCEPTION:
+        suffix_length = rule.component_count - 1
+    else:
+        suffix_length = rule.component_count
+    start = len(labels) - suffix_length - 1
+    if start < 0:
+        start = 0
+    return ".".join(labels[start:])
+
+
+def group_sites(psl: PublicSuffixList, hostnames: Iterable[str]) -> dict[str, str]:
+    """Map each hostname to its site under one list version."""
+    trie = SuffixTrie(psl.rules)
+    return {host: site_for(trie, tuple(host.split("."))) for host in hostnames}
+
+
+@dataclass(frozen=True, slots=True)
+class SiteMetrics:
+    """The Figure 5 quantities for one list version."""
+
+    site_count: int
+    hostname_count: int
+
+    @property
+    def mean_site_size(self) -> float:
+        """Average number of hostnames per site."""
+        if self.site_count == 0:
+            return 0.0
+        return self.hostname_count / self.site_count
+
+
+def site_metrics(assignment: Mapping[str, str]) -> SiteMetrics:
+    """Metrics of a hostname->site assignment."""
+    return SiteMetrics(site_count=len(set(assignment.values())), hostname_count=len(assignment))
+
+
+def _rule_base(rule: Rule) -> str:
+    """The dotted name under which a rule can affect hostnames.
+
+    A normal or exception rule affects hostnames at or below its own
+    name; a wildcard rule affects hostnames below the name without the
+    ``*`` label.
+    """
+    if rule.kind is RuleKind.WILDCARD:
+        return ".".join(reversed(rule.labels[:-1]))
+    return rule.name
+
+
+class IncrementalGrouper:
+    """Maintains hostname->site across PSL deltas.
+
+    Construction cost is one full grouping plus a hostname-suffix
+    index; each :meth:`apply` then costs proportional to the hostnames
+    that could plausibly be affected by the delta, not the universe.
+    """
+
+    def __init__(self, rules: Iterable[Rule], hostnames: Iterable[str]) -> None:
+        self._trie = SuffixTrie(rules)
+        self._labels: dict[str, tuple[str, ...]] = {
+            host: tuple(host.split(".")) for host in hostnames
+        }
+        # Index: dotted suffix -> hostnames having that suffix.  A rule
+        # change at base B re-examines exactly index[B].
+        self._by_suffix: dict[str, list[str]] = {}
+        for host, labels in self._labels.items():
+            for start in range(len(labels)):
+                self._by_suffix.setdefault(".".join(labels[start:]), []).append(host)
+        self._assignment: dict[str, str] = {
+            host: site_for(self._trie, labels) for host, labels in self._labels.items()
+        }
+        self._site_sizes: Counter[str] = Counter(self._assignment.values())
+
+    @property
+    def assignment(self) -> Mapping[str, str]:
+        """The live hostname->site mapping (do not mutate)."""
+        return self._assignment
+
+    @property
+    def site_count(self) -> int:
+        """Number of distinct sites right now."""
+        return len(self._site_sizes)
+
+    @property
+    def hostname_count(self) -> int:
+        """Number of hostnames being tracked."""
+        return len(self._assignment)
+
+    def metrics(self) -> SiteMetrics:
+        """Current :class:`SiteMetrics`."""
+        return SiteMetrics(site_count=self.site_count, hostname_count=self.hostname_count)
+
+    def site_of(self, hostname: str) -> str:
+        """Current site of a tracked hostname."""
+        return self._assignment[hostname]
+
+    def apply(self, delta: RuleDelta) -> list[str]:
+        """Apply a version delta; returns hostnames whose site changed."""
+        for rule in delta.removed:
+            self._trie.remove(rule)
+        for rule in delta.added:
+            self._trie.insert(rule)
+
+        candidates: set[str] = set()
+        for rule in delta.added | delta.removed:
+            candidates.update(self._by_suffix.get(_rule_base(rule), ()))
+
+        changed: list[str] = []
+        for host in candidates:
+            new_site = site_for(self._trie, self._labels[host])
+            old_site = self._assignment[host]
+            if new_site == old_site:
+                continue
+            self._assignment[host] = new_site
+            self._site_sizes[old_site] -= 1
+            if self._site_sizes[old_site] == 0:
+                del self._site_sizes[old_site]
+            self._site_sizes[new_site] += 1
+            changed.append(host)
+        return changed

@@ -1,0 +1,324 @@
+"""Deterministic crawl-snapshot synthesis.
+
+The generator builds a July-2022-style snapshot whose structure drives
+the paper's boundary analyses:
+
+* **harm tenants** — for every suffix in the calibrated schedule
+  (:mod:`repro.calibrate.suffixes`), exactly its calibrated number of
+  tenant hostnames (at ``harm_scale=1.0``).  These are the 50,750
+  hostnames behind Table 2 and Table 3's missing-hostname column.
+* **bulk tenants** — populations under the known PRIVATE-division
+  operators (github.io, the Blogspot family, …), whose 2011-2016 list
+  additions produce Figure 5's growth phase and Figure 6's rise.
+* **wildcard-era organizations** — hosts directly under the ccTLDs the
+  early list covered with ``*.cc`` rules; their subresource requests
+  are misclassified as third-party until the wildcard is refined,
+  producing Figure 6's early drop.
+* **Japanese geographic organizations** — hosts under
+  ``city.prefecture.jp``, regrouped by the mid-2012 burst.
+* **plain sites, ccTLD-second-level sites, trackers** — the stable
+  background web that keeps the curves' scale realistic.
+
+Page/request structure: pages request their own subdomains
+(first-party under a correct list), a shared tracker pool (always
+third-party), and — for tenants — sibling tenants of the same
+operator, the requests whose classification flips as suffix rules
+arrive.
+
+Scales are separate: ``harm_scale`` controls the calibrated
+populations (leave at 1.0 to reproduce the paper's exact counts) and
+``bulk_scale`` the background web (shrink for quick runs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.calibrate.suffixes import CalibratedSuffix, full_schedule
+from repro.calibrate.words import compound
+from repro.data import jp_geo
+from repro.data.cc_second_level import SECOND_LEVEL_SETS, WILDCARD_ERA
+from repro.data.private_suffixes import all_known
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.records import Page
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotConfig:
+    """Shape of the synthetic snapshot.
+
+    Counts below are at ``bulk_scale = 1.0``; the harm populations are
+    controlled by ``harm_scale`` alone.
+    """
+
+    seed: int = 20230701
+    harm_scale: float = 1.0
+    bulk_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.harm_scale < 0 or self.bulk_scale < 0:
+            raise ValueError("scales must be non-negative")
+        if not 0.0 <= self.tenant_page_fraction <= 1.0:
+            raise ValueError("tenant_page_fraction must be in [0, 1]")
+        if not 0.0 <= self.plain_page_fraction <= 1.0:
+            raise ValueError("plain_page_fraction must be in [0, 1]")
+    plain_sites: int = 30_000
+    cc_sites: int = 6_000
+    wildcard_org_sites: int = 2_500
+    jp_orgs: int = 1_200
+    tracker_hosts: int = 400
+    tenant_page_fraction: float = 0.15
+    plain_page_fraction: float = 0.3
+    max_requests_per_page: int = 12
+
+
+_STABLE_TLDS: tuple[str, ...] = (
+    "com", "com", "com", "com", "net", "org", "io", "de", "fr", "nl",
+    "info", "biz", "xyz", "online", "site", "club",
+)
+
+_SUBDOMAIN_LABELS: tuple[str, ...] = (
+    "www", "api", "cdn", "img", "static", "app", "blog", "shop", "mail",
+    "dev", "m", "assets", "media", "news",
+)
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(0, round(count * scale))
+
+
+class _Builder:
+    """Accumulates hosts and pages with deterministic naming."""
+
+    def __init__(self, config: SnapshotConfig, forbidden: frozenset[str]) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.snapshot = Snapshot(label=f"synthetic-2022-07 seed={config.seed}")
+        self.trackers: list[str] = []
+        self._used_names: set[str] = set()
+        self._forbidden = forbidden
+
+    def fresh_name(self) -> str:
+        """A globally unique compound label."""
+        rng = self.rng
+        name = compound(rng)
+        while name in self._used_names:
+            name = f"{compound(rng)}{rng.randint(2, 999)}"
+        self._used_names.add(name)
+        return name
+
+    def fresh_domain(self, *parts: str) -> str:
+        """A fresh registrable domain that never collides with a rule.
+
+        Background-web domains sharing a name with *any* suffix rule in
+        the history (present or historical) would silently join the
+        harm populations and perturb the calibrated counts, so every
+        generated apex is checked against the full rule-name set.
+        """
+        while True:
+            domain = ".".join((self.fresh_name(),) + parts)
+            if domain not in self._forbidden:
+                return domain
+
+    def page(self, host: str, requests: list[str]) -> None:
+        self.snapshot.pages.append(Page(host=host, request_hosts=tuple(requests)))
+
+    def some_trackers(self, low: int = 1, high: int = 3) -> list[str]:
+        if not self.trackers:
+            return []
+        count = self.rng.randint(low, min(high, len(self.trackers)))
+        return self.rng.sample(self.trackers, count)
+
+
+def _build_trackers(builder: _Builder) -> None:
+    count = _scaled(builder.config.tracker_hosts, builder.config.bulk_scale)
+    for _ in range(count):
+        tld = builder.rng.choice(("com", "net", "io"))
+        label = builder.rng.choice(("metrics", "pixel", "ads", "cdn", "tag", "beacon"))
+        builder.trackers.append(f"{label}.{builder.fresh_domain(tld)}")
+    for host in builder.trackers:
+        builder.snapshot.add_hostname(host)
+
+
+def _build_tenants(
+    builder: _Builder,
+    suffix: str,
+    count: int,
+    *,
+    cross_tenant_requests: bool,
+) -> None:
+    """``count`` tenant hostnames under ``suffix``, plus tenant pages."""
+    if count <= 0:
+        return
+    rng = builder.rng
+    tenants: list[str] = []
+    used: set[str] = set()
+    for index in range(count):
+        label = compound(rng)
+        if label in used:
+            label = f"{label}{index}"
+        used.add(label)
+        tenants.append(f"{label}.{suffix}")
+    builder.snapshot.add_hostname(suffix)
+    for host in tenants:
+        builder.snapshot.add_hostname(host)
+
+    page_count = round(count * builder.config.tenant_page_fraction)
+    for host in rng.sample(tenants, min(page_count, len(tenants))):
+        requests: list[str] = []
+        if cross_tenant_requests and len(tenants) > 1:
+            # Shared assets on sibling tenants and on the operator's
+            # apex: first-party under a pre-rule list, third-party once
+            # the suffix rule lands.
+            for _ in range(rng.randint(1, 3)):
+                sibling = rng.choice(tenants)
+                if sibling != host:
+                    requests.append(sibling)
+            requests.append(suffix)
+        requests.extend(builder.some_trackers())
+        if requests:
+            builder.page(host, requests[: builder.config.max_requests_per_page])
+
+
+def _build_harm_population(builder: _Builder, schedule: list[CalibratedSuffix]) -> None:
+    for record in schedule:
+        count = _scaled(record.hostnames, builder.config.harm_scale)
+        if builder.config.harm_scale >= 1.0:
+            count = record.hostnames  # exactness beats rounding
+        _build_tenants(builder, record.suffix, count, cross_tenant_requests=True)
+
+
+def _build_bulk_tenants(builder: _Builder) -> None:
+    """Tenant populations under the known 2011-2016 PRIVATE operators.
+
+    Operators whose rules arrive 2017 or later are deliberately left
+    without snapshot populations: every populated post-2016 suffix
+    belongs to the *calibrated* schedule, which is what keeps the
+    measured headline at exactly the paper's 1,313 missing eTLDs.
+    """
+    rng = builder.rng
+    scale = builder.config.bulk_scale
+    heavyweights = {"github.io": 2500, "blogspot.com": 2000, "wordpress.com": 1500, "herokuapp.com": 900}
+    for record in all_known():
+        if record.year is not None and record.year >= 2017:
+            continue
+        base = heavyweights.get(record.suffix, rng.randint(50, 600))
+        _build_tenants(builder, record.suffix, _scaled(base, scale), cross_tenant_requests=True)
+
+
+def _build_plain_sites(builder: _Builder) -> None:
+    rng = builder.rng
+    count = _scaled(builder.config.plain_sites, builder.config.bulk_scale)
+    all_hosts: list[str] = []
+    for _ in range(count):
+        tld = rng.choice(_STABLE_TLDS)
+        apex = builder.fresh_domain(tld)
+        hosts = [apex, f"www.{apex}"]
+        for _ in range(rng.randint(0, 2)):
+            hosts.append(f"{rng.choice(_SUBDOMAIN_LABELS)}.{apex}")
+        for host in hosts:
+            builder.snapshot.add_hostname(host)
+        all_hosts.append(apex)
+        if rng.random() < builder.config.plain_page_fraction:
+            requests = [h for h in hosts if h != f"www.{apex}"]
+            requests.extend(builder.some_trackers())
+            if len(all_hosts) > 1 and rng.random() < 0.4:
+                requests.append(f"www.{rng.choice(all_hosts[:-1])}")
+            builder.page(f"www.{apex}", requests[: builder.config.max_requests_per_page])
+
+
+def _build_cc_sites(builder: _Builder) -> None:
+    rng = builder.rng
+    count = _scaled(builder.config.cc_sites, builder.config.bulk_scale)
+    # Only ccTLDs with a real, non-wildcard second-level structure:
+    # placing sites under an unlisted second level would merge them
+    # into accidental pseudo-sites.
+    ccs = sorted(
+        cc
+        for cc, labels in SECOND_LEVEL_SETS.items()
+        if labels and cc not in WILDCARD_ERA
+    )
+    for _ in range(count):
+        cc = rng.choice(ccs)
+        second = rng.choice(SECOND_LEVEL_SETS[cc])
+        apex = builder.fresh_domain(second, cc)
+        builder.snapshot.add_hostname(apex)
+        builder.snapshot.add_hostname(f"www.{apex}")
+        if rng.random() < builder.config.plain_page_fraction:
+            requests = [apex] + builder.some_trackers()
+            builder.page(f"www.{apex}", requests)
+
+
+def _build_wildcard_orgs(builder: _Builder) -> None:
+    """Organizations directly under wildcard-era ccTLDs.
+
+    Under ``*.cc`` every subdomain of ``org.cc`` is its own site, so a
+    page's requests to its own subdomains count as third-party; the
+    wildcard refinements merge them back into one site (Figure 6's
+    early drop)."""
+    rng = builder.rng
+    count = _scaled(builder.config.wildcard_org_sites, builder.config.bulk_scale)
+    refined = sorted(cc for cc, year in WILDCARD_ERA.items() if year)
+    if not refined:
+        return
+    for _ in range(count):
+        cc = rng.choice(refined)
+        apex = builder.fresh_domain(cc)
+        subs = [f"{label}.{apex}" for label in rng.sample(_SUBDOMAIN_LABELS, rng.randint(2, 3))]
+        builder.snapshot.add_hostname(apex)
+        for host in subs:
+            builder.snapshot.add_hostname(host)
+        requests = [apex] + subs[1:] + builder.some_trackers(0, 2)
+        builder.page(subs[0], requests[: builder.config.max_requests_per_page])
+
+
+def _build_jp_orgs(builder: _Builder) -> None:
+    """Hosts under ``city.prefecture.jp``, regrouped by the 2012 burst."""
+    rng = builder.rng
+    count = _scaled(builder.config.jp_orgs, builder.config.bulk_scale)
+    cities = jp_geo.city_suffixes(160, seed=2012)
+    for _ in range(count):
+        city = rng.choice(cities)
+        org = builder.fresh_domain(*city.split("."))
+        builder.snapshot.add_hostname(org)
+        builder.snapshot.add_hostname(f"www.{org}")
+        if rng.random() < 0.25:
+            sibling = f"{compound(rng)}.{city}"
+            builder.snapshot.add_hostname(sibling)
+            builder.page(f"www.{org}", [org, sibling] + builder.some_trackers(0, 1))
+
+
+def synthesize_snapshot(
+    config: SnapshotConfig | None = None,
+    *,
+    forbidden_suffixes: frozenset[str] | None = None,
+) -> Snapshot:
+    """Build the deterministic snapshot for a config.
+
+    At ``harm_scale=1.0`` the populations under the calibrated missing
+    eTLDs are paper-exact: 50,750 hostnames across 1,313 suffixes.
+
+    ``forbidden_suffixes`` should be the set of every rule name the
+    paired history ever carried (pass it when pairing the snapshot with
+    a :class:`~repro.history.store.VersionStore`); generated background
+    domains avoid those names so no background site accidentally sits
+    under a suffix rule.  Without it, the calibrated schedule and the
+    known operators are still avoided.
+    """
+    config = config or SnapshotConfig()
+    schedule = full_schedule(config.seed)
+    if forbidden_suffixes is None:
+        names = {record.suffix for record in schedule}
+        names.update(record.suffix for record in all_known())
+        forbidden_suffixes = frozenset(names)
+    builder = _Builder(config, forbidden_suffixes)
+
+    _build_trackers(builder)
+    _build_harm_population(builder, schedule)
+    _build_bulk_tenants(builder)
+    _build_plain_sites(builder)
+    _build_cc_sites(builder)
+    _build_wildcard_orgs(builder)
+    _build_jp_orgs(builder)
+    return builder.snapshot

@@ -1,0 +1,201 @@
+"""A small columnar query layer over crawl snapshots.
+
+The paper's web-traffic pipeline ran against the HTTP Archive's
+BigQuery tables.  This module provides the equivalent local tooling: a
+typed, immutable columnar :class:`Table` with the handful of relational
+operations measurement scripts actually use — ``where``, ``select``,
+``group_by`` aggregation, ``distinct``, ``order_by``, ``join`` — plus
+builders that flatten a :class:`~repro.webgraph.archive.Snapshot` into
+the two tables the paper queries (pages, requests).
+
+It exists so analyses can be written declaratively and cross-checked
+against the hand-rolled fast paths (the test suite recomputes Figure 5
+and Figure 6 inputs both ways).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.webgraph.archive import Snapshot
+
+
+@dataclass(frozen=True)
+class Table:
+    """An immutable column-oriented table."""
+
+    columns: tuple[str, ...]
+    _data: tuple[tuple[Any, ...], ...]  # column-major
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build from row tuples."""
+        materialized = [tuple(row) for row in rows]
+        for row in materialized:
+            if len(row) != len(columns):
+                raise ValueError(f"row width {len(row)} != {len(columns)} columns")
+        column_major = tuple(
+            tuple(row[i] for row in materialized) for i in range(len(columns))
+        )
+        return cls(columns=tuple(columns), _data=column_major)
+
+    # -- shape ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data[0]) if self._data else 0
+
+    def column(self, name: str) -> tuple[Any, ...]:
+        """One column's values."""
+        try:
+            return self._data[self.columns.index(name)]
+        except ValueError:
+            raise KeyError(f"no column {name!r}; have {self.columns}") from None
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate rows."""
+        return iter(zip(*self._data)) if self._data else iter(())
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries (small results only)."""
+        return [dict(zip(self.columns, row)) for row in self.rows()]
+
+    # -- relational operations ---------------------------------------------------
+
+    def where(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Filter rows by a predicate over a row-dict."""
+        kept = [row for row in self.rows() if predicate(dict(zip(self.columns, row)))]
+        return Table.from_rows(self.columns, kept)
+
+    def select(self, *names: str) -> "Table":
+        """Project onto a subset of columns."""
+        indices = [self.columns.index(name) for name in names]
+        return Table(
+            columns=tuple(names),
+            _data=tuple(self._data[index] for index in indices),
+        )
+
+    def with_column(self, name: str, function: Callable[[dict[str, Any]], Any]) -> "Table":
+        """Append a computed column."""
+        values = tuple(function(dict(zip(self.columns, row))) for row in self.rows())
+        return Table(columns=self.columns + (name,), _data=self._data + (values,))
+
+    def distinct(self, *names: str) -> "Table":
+        """Distinct rows over ``names`` (or all columns), order-preserving."""
+        target = self.select(*names) if names else self
+        seen: set[tuple[Any, ...]] = set()
+        kept = []
+        for row in target.rows():
+            if row not in seen:
+                seen.add(row)
+                kept.append(row)
+        return Table.from_rows(target.columns, kept)
+
+    def order_by(self, name: str, *, descending: bool = False) -> "Table":
+        """Sort rows by one column."""
+        ordered = sorted(self.rows(), key=lambda row: row[self.columns.index(name)], reverse=descending)
+        return Table.from_rows(self.columns, ordered)
+
+    def limit(self, count: int) -> "Table":
+        """The first ``count`` rows."""
+        return Table.from_rows(self.columns, list(self.rows())[:count])
+
+    def group_by(self, *names: str) -> "GroupedTable":
+        """Start a grouped aggregation."""
+        return GroupedTable(self, names)
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_csv(self, path: str) -> None:
+        """Write the table as CSV (header row first)."""
+        import csv
+
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows())
+
+    @classmethod
+    def from_csv(cls, path: str) -> "Table":
+        """Read a CSV written by :meth:`to_csv` (values come back as str)."""
+        import csv
+
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ValueError(f"{path}: empty CSV") from None
+            return cls.from_rows(header, list(reader))
+
+    def join(self, other: "Table", on: str) -> "Table":
+        """Inner equi-join on one shared column (hash join)."""
+        right_index: dict[Any, list[tuple[Any, ...]]] = {}
+        other_on = other.columns.index(on)
+        for row in other.rows():
+            right_index.setdefault(row[other_on], []).append(row)
+        left_on = self.columns.index(on)
+        out_columns = self.columns + tuple(
+            name for name in other.columns if name != on
+        )
+        kept_right = [i for i, name in enumerate(other.columns) if name != on]
+        rows = []
+        for row in self.rows():
+            for match in right_index.get(row[left_on], ()):
+                rows.append(row + tuple(match[i] for i in kept_right))
+        return Table.from_rows(out_columns, rows)
+
+
+class GroupedTable:
+    """Deferred group-by; terminate with an aggregation."""
+
+    def __init__(self, table: Table, names: Sequence[str]) -> None:
+        self._table = table
+        self._names = tuple(names)
+        indices = [table.columns.index(name) for name in names]
+        self._groups: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for row in table.rows():
+            self._groups.setdefault(tuple(row[i] for i in indices), []).append(row)
+
+    def count(self, as_name: str = "count") -> Table:
+        """Row counts per group."""
+        rows = [key + (len(members),) for key, members in self._groups.items()]
+        return Table.from_rows(self._names + (as_name,), rows)
+
+    def agg(self, column: str, function: Callable[[list[Any]], Any], as_name: str) -> Table:
+        """Arbitrary aggregation over one column per group."""
+        index = self._table.columns.index(column)
+        rows = [
+            key + (function([member[index] for member in members]),)
+            for key, members in self._groups.items()
+        ]
+        return Table.from_rows(self._names + (as_name,), rows)
+
+    def count_distinct(self, column: str, as_name: str = "distinct") -> Table:
+        """Distinct-value counts per group."""
+        return self.agg(column, lambda values: len(set(values)), as_name)
+
+
+# -- snapshot flattening ------------------------------------------------------
+
+
+def requests_table(snapshot: Snapshot) -> Table:
+    """The paper's requests table: (page_host, request_host)."""
+    return Table.from_rows(
+        ("page_host", "request_host"), snapshot.iter_request_pairs()
+    )
+
+
+def hostnames_table(snapshot: Snapshot) -> Table:
+    """One row per unique hostname."""
+    return Table.from_rows(("hostname",), ((host,) for host in snapshot.hostnames))
+
+
+def sites_table(snapshot: Snapshot, assignment: dict[str, str]) -> Table:
+    """(hostname, site) under one list version."""
+    return Table.from_rows(
+        ("hostname", "site"),
+        ((host, assignment[host]) for host in snapshot.hostnames),
+    )

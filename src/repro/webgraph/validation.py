@@ -1,0 +1,72 @@
+"""Snapshot validation.
+
+Loaded or hand-built snapshots can carry defects the analyses would
+silently mis-handle: invalid hostnames, pages whose request targets
+never appear in the hostname universe (impossible by construction for
+:class:`~repro.webgraph.archive.Snapshot`, possible for external data
+converted into one), IP literals, or duplicate pages.  The validator
+reports everything it finds; the synthesizer's output must validate
+clean, and ingestion paths are expected to validate before analyzing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.errors import HostnameError
+from repro.net.hostname import is_ip_literal, normalize_hostname
+from repro.webgraph.archive import Snapshot
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One defect found in a snapshot."""
+
+    kind: str  # "invalid-hostname" | "denormalized-hostname" | "ip-literal" | "duplicate-page"
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+def validate_snapshot(snapshot: Snapshot, *, limit: int = 100) -> list[ValidationIssue]:
+    """Check one snapshot; returns at most ``limit`` issues."""
+    issues: list[ValidationIssue] = []
+
+    def report(kind: str, subject: str, detail: str) -> bool:
+        issues.append(ValidationIssue(kind, subject, detail))
+        return len(issues) >= limit
+
+    for host in snapshot.hostnames:
+        if is_ip_literal(host):
+            if report("ip-literal", host, "IP literals have no registrable domain"):
+                return issues
+            continue
+        try:
+            normalized = normalize_hostname(host)
+        except HostnameError as error:
+            if report("invalid-hostname", host, error.reason):
+                return issues
+            continue
+        if normalized != host:
+            if report(
+                "denormalized-hostname", host, f"stored as {host!r}, canonical {normalized!r}"
+            ):
+                return issues
+
+    seen_pages: set[str] = set()
+    for page in snapshot.pages:
+        if page.host in seen_pages:
+            if report("duplicate-page", page.host, "multiple page records for one host"):
+                return issues
+        seen_pages.add(page.host)
+    return issues
+
+
+def assert_valid(snapshot: Snapshot) -> None:
+    """Raise ValueError (with the first issues) on an invalid snapshot."""
+    issues = validate_snapshot(snapshot, limit=5)
+    if issues:
+        rendered = "; ".join(str(issue) for issue in issues)
+        raise ValueError(f"invalid snapshot: {rendered}")

@@ -1,0 +1,85 @@
+"""Shared fixtures.
+
+The synthetic world (history, corpus, snapshot) is expensive enough to
+build that the integration-grade fixtures are session-scoped; unit
+tests use small hand-built lists instead and never touch these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import ExperimentContext, get_context
+from repro.psl.parser import parse_psl
+from repro.webgraph.synthesis import SnapshotConfig
+
+TEST_SEED = 20230701
+
+
+@pytest.fixture(scope="session")
+def world() -> ExperimentContext:
+    """The full calibrated world with a slimmed background web.
+
+    ``harm_scale=1.0`` keeps every paper-exact count intact; the bulk
+    web is scaled down for speed (the calibrated analyses do not
+    depend on it).
+    """
+    return get_context(TEST_SEED, SnapshotConfig(seed=TEST_SEED, harm_scale=1.0, bulk_scale=0.1))
+
+
+@pytest.fixture(scope="session")
+def store(world):
+    """The synthetic 1,142-version history."""
+    return world.store
+
+
+@pytest.fixture(scope="session")
+def corpus(world):
+    """The 273-repository corpus."""
+    return world.corpus
+
+
+@pytest.fixture(scope="session")
+def snapshot(world):
+    """The paired crawl snapshot (harm populations paper-exact)."""
+    return world.snapshot
+
+
+@pytest.fixture(scope="session")
+def sweep(world):
+    """The full version sweep over the session snapshot."""
+    from repro.analysis.boundaries import run_sweep
+
+    return run_sweep(world.store, world.snapshot)
+
+
+@pytest.fixture(scope="session")
+def harm_result(world, sweep):
+    """The measured Tables 2/3 and headline."""
+    from repro.analysis.harm import harm_analysis
+
+    return harm_analysis(world, sweep)
+
+
+@pytest.fixture()
+def small_psl():
+    """A compact list covering every rule kind and both divisions."""
+    return parse_psl(
+        """\
+// ===BEGIN ICANN DOMAINS===
+com
+net
+co.uk
+uk
+*.ck
+!www.ck
+jp
+kyoto.jp
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+s3.dualstack.us-east-1.amazonaws.com
+// ===END PRIVATE DOMAINS===
+"""
+    )

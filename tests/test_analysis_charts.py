@@ -1,0 +1,70 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import line_chart, render_series, sparkline
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([0, 5, 10]) == "▁▄█"
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(50)))) == 50
+
+    def test_extremes_hit_both_ends(self):
+        line = sparkline([1, 100, 1])
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart(list(range(100)), width=40, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 9  # 8 rows + axis
+        assert all("┤" in line for line in lines[:-1])
+
+    def test_min_max_labels(self):
+        chart = line_chart([10, 20, 30], height=5)
+        assert "30" in chart.splitlines()[0]
+        assert "10" in chart.splitlines()[-2]
+
+    def test_monotone_series_marks_rise(self):
+        chart = line_chart(list(range(64)), width=64, height=8)
+        rows = chart.splitlines()[:-1]
+        # The top row's marks must be to the right of the bottom row's.
+        top_first = rows[0].index("•")
+        bottom_first = rows[-1].index("•")
+        assert top_first > bottom_first
+
+    def test_short_series_not_stretched(self):
+        chart = line_chart([1, 2], width=64, height=4)
+        assert chart.splitlines()[0].count("•") + sum(
+            line.count("•") for line in chart.splitlines()[1:-1]
+        ) == 2
+
+    def test_empty(self):
+        assert "empty" in line_chart([])
+
+
+class TestRenderSeries:
+    def test_title_and_endpoints(self):
+        text = render_series("My chart", ["2007", "2012", "2022"], [1, 5, 2])
+        assert text.startswith("My chart")
+        assert "2007" in text and "2022" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", ["a"], [1, 2])
+
+    def test_figure_renderers_include_chart(self, sweep):
+        from repro.analysis.report import render_figure5
+
+        text = render_figure5(sweep)
+        assert "•" in text and "└" in text

@@ -1,0 +1,63 @@
+"""Tests for the pairwise exposure analysis."""
+
+import pytest
+
+from repro.analysis.exposure import (
+    corpus_exposure,
+    exposure_for_text,
+    render_exposure,
+)
+
+
+class TestExposureForText:
+    def test_closed_form(self):
+        populations = {"a.example": 4, "b.example": 2, "c.example": 1}
+        report = exposure_for_text("x/y", "b.example\n", populations)
+        # Missing a.example (4 hosts -> 12 ordered pairs) and c.example
+        # (1 host -> 0 pairs); b.example is vendored.
+        assert report.merged_suffixes == 2
+        assert report.misgrouped_hostnames == 5
+        assert report.autofill_pairs == 12
+        assert report.cookie_pairs == 6
+
+    def test_complete_list_zero_exposure(self):
+        populations = {"a.example": 10}
+        report = exposure_for_text("x/y", "a.example\n", populations)
+        assert report.autofill_pairs == 0
+
+
+class TestCorpusExposure:
+    @pytest.fixture(scope="class")
+    def reports(self, world, sweep):
+        return corpus_exposure(world)
+
+    def test_covers_all_production_repos(self, reports):
+        assert len(reports) == 43
+
+    def test_sorted_worst_first(self, reports):
+        pairs = [report.autofill_pairs for report in reports]
+        assert pairs == sorted(pairs, reverse=True)
+
+    def test_old_lists_expose_more(self, reports, world):
+        by_name = {report.repository: report for report in reports}
+        # TSpider (2,070 days) must expose at least as much as
+        # python-fido2 (188 days).
+        assert (
+            by_name["Twi1ight/TSpider"].autofill_pairs
+            >= by_name["Yubico/python-fido2"].autofill_pairs
+        )
+
+    def test_bitwarden_scale(self, reports):
+        """bitwarden's 1,596-day list merges the big Table 2 operators:
+        myshopify.com alone contributes 7,848 x 7,847 ordered pairs."""
+        by_name = {report.repository: report for report in reports}
+        assert by_name["bitwarden/server"].autofill_pairs > 7848 * 7847
+
+    def test_fresh_list_exposes_nearly_nothing(self, reports):
+        by_name = {report.repository: report for report in reports}
+        assert by_name["Intsights/PyDomainExtractor"].autofill_pairs == 0
+
+    def test_render(self, reports):
+        text = render_exposure(reports, limit=5)
+        assert "autofill pairs" in text
+        assert len(text.splitlines()) == 6

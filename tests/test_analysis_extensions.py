@@ -1,0 +1,89 @@
+"""Tests for the extension analyses (categories, update-failure model)."""
+
+from repro.analysis.categories import category_series, final_breakdown, growth_attribution
+from repro.analysis.updates import (
+    DEFAULT_MODELS,
+    StrategyModel,
+    compare_strategies,
+    simulate_strategy,
+)
+
+
+class TestCategories:
+    def test_series_totals_match_rule_counts(self, store):
+        points = category_series(store)
+        assert len(points) == len(store)
+        assert points[0].total == store.version(0).rule_count
+        assert points[-1].total == store.latest.rule_count
+
+    def test_private_division_grows(self, store):
+        points = category_series(store)
+        assert points[0].counts.get("private", 0) == 0
+        assert points[-1].counts["private"] > 1000
+
+    def test_final_breakdown_labels(self, store):
+        breakdown = final_breakdown(store)
+        assert {"private", "country-code", "generic"} <= set(breakdown)
+        assert breakdown["country-code"] > breakdown.get("sponsored", 0)
+
+    def test_growth_attribution_2013_2016(self, store):
+        deltas = growth_attribution(store, 2013, 2016)
+        # The growth phase is driven by private domains and the
+        # new-gTLD program, as in the real list.
+        assert deltas["private"] > 100
+        assert deltas["generic"] > 100
+
+    def test_growth_attribution_jp_spike(self, store):
+        deltas = growth_attribution(store, 2012, 2012)
+        assert deltas["country-code"] > 1500
+
+
+class TestUpdateModel:
+    def test_fixed_never_refreshes(self):
+        outcome = simulate_strategy(StrategyModel("fixed", None, 825), horizon_days=100)
+        assert outcome.refreshes_attempted == 0
+        assert outcome.worst_age_days == 825 + 99
+
+    def test_frequent_refresh_stays_fresh(self):
+        outcome = simulate_strategy(
+            StrategyModel("user", 3, 915), failure_probability=0.0
+        )
+        assert outcome.worst_age_days <= 915  # day-0 fallback, then fresh
+        assert outcome.mean_age_days < 10
+
+    def test_failures_counted(self):
+        outcome = simulate_strategy(
+            StrategyModel("user", 1, 0), horizon_days=1000, failure_probability=0.5
+        )
+        assert outcome.refreshes_attempted == 1000
+        assert 350 < outcome.refreshes_failed < 650
+
+    def test_paper_risk_ordering(self):
+        """user < build < server < fixed, the paper's qualitative claim."""
+        outcomes = {o.strategy: o.mean_age_days for o in compare_strategies()}
+        assert (
+            outcomes["updated/user"]
+            < outcomes["updated/build"]
+            < outcomes["updated/server"]
+            < outcomes["fixed"]
+        )
+
+    def test_deterministic(self):
+        first = compare_strategies()
+        second = compare_strategies()
+        assert first == second
+
+    def test_total_failure_equals_fixed_shape(self):
+        """With every fetch failing, 'updated' degenerates to 'fixed'
+        with its own fallback age — the paper's fallback risk."""
+        broken = simulate_strategy(
+            StrategyModel("updated/server", 365, 915),
+            failure_probability=1.0,
+            horizon_days=365,
+        )
+        assert broken.worst_age_days == 915 + 364
+        assert broken.refreshes_failed == broken.refreshes_attempted
+
+    def test_default_models_cover_taxonomy(self):
+        names = {model.name for model in DEFAULT_MODELS}
+        assert names == {"fixed", "updated/build", "updated/user", "updated/server"}

@@ -1,0 +1,67 @@
+"""Tests for growth-model fitting and forecasting."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.forecast import fit_growth, forecast
+from repro.history.store import VersionStore
+from repro.psl.rules import Rule
+
+
+def _linear_store(slope=5, versions=60):
+    """A history that grows by ``slope`` rules every 30 days."""
+    store = VersionStore()
+    date = datetime.date(2010, 1, 1)
+    counter = 0
+    for _ in range(versions):
+        added = [Rule.parse(f"r{counter + i}.example") for i in range(slope)]
+        counter += slope
+        store.commit_rules(date, added=added)
+        date += datetime.timedelta(days=30)
+    return store
+
+
+class TestFitGrowth:
+    def test_linear_store_fits_linearly(self):
+        fits = fit_growth(_linear_store())
+        assert fits["linear"].holdout_mape < 0.02
+        slope, _ = fits["linear"].parameters
+        assert slope == pytest.approx(5 / 30, rel=0.05)
+
+    def test_synthetic_history_saturates(self, store):
+        """The logistic model beats the linear baseline on the real
+        (saturating) growth curve."""
+        fits = fit_growth(store)
+        assert "logistic" in fits
+        assert fits["logistic"].holdout_mape < fits["linear"].holdout_mape
+        assert fits["logistic"].holdout_mape < 0.08
+
+    def test_logistic_capacity_plausible(self, store):
+        fits = fit_growth(store)
+        capacity = fits["logistic"].parameters[0]
+        assert store.latest.rule_count <= capacity < store.latest.rule_count * 3
+
+    def test_train_fraction_validated(self, store):
+        with pytest.raises(ValueError):
+            fit_growth(store, train_fraction=1.5)
+
+    def test_predict_monotone_for_logistic(self, store):
+        fit = fit_growth(store)["logistic"]
+        assert fit.predict(1000) <= fit.predict(5000) <= fit.predict(20000)
+
+
+class TestForecast:
+    def test_bracketing(self, store):
+        predictions = forecast(store, years_ahead=5)
+        current = store.latest.rule_count
+        # The saturating view stays near current scale; the linear view
+        # keeps climbing — together they bracket plausible futures.
+        assert predictions["logistic"] < predictions["linear"]
+        assert current * 0.9 < predictions["logistic"] < current * 1.6
+
+    def test_zero_years_close_to_current(self, store):
+        predictions = forecast(store, years_ahead=0)
+        assert predictions["logistic"] == pytest.approx(
+            store.latest.rule_count, rel=0.1
+        )

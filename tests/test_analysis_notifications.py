@@ -1,0 +1,53 @@
+"""Tests for the notification campaign."""
+
+import pytest
+
+from repro.analysis.notifications import render_campaign, run_campaign
+from repro.data import paper
+
+
+@pytest.fixture(scope="module")
+def campaign(world, sweep):
+    return run_campaign(world, sweep)
+
+
+class TestCampaign:
+    def test_targets_the_43_production_projects(self, campaign):
+        assert campaign.total == paper.HARMFUL_PROJECT_COUNT
+
+    def test_all_production_notes_are_high_severity(self, campaign):
+        assert campaign.by_severity == {"high": 43}
+
+    def test_known_project_present_with_exposure(self, campaign):
+        note = next(n for n in campaign.notifications if n.repository == "bitwarden/server")
+        assert "1596 days" in note.body
+        assert "eTLDs" in note.body
+
+    def test_exposure_counts_consistent_with_headline(self, campaign):
+        """The oldest-list project misses at most every harmful eTLD."""
+        import re
+
+        pattern = re.compile(r"\*\*(\d+) eTLDs\*\*")
+        counts = []
+        for note in campaign.notifications:
+            found = pattern.search(note.body)
+            if found:
+                counts.append(int(found.group(1)))
+        assert counts
+        assert max(counts) <= paper.MISSING_ETLD_COUNT
+
+    def test_undatable_projects_still_notified(self, campaign, world):
+        undatable = [
+            note for note in campaign.notifications
+            if "could not be matched" in note.body
+        ]
+        assert len(undatable) == 10  # the undatable production repos
+
+    def test_wider_campaign_includes_test_usage(self, world, sweep):
+        wide = run_campaign(world, sweep, include_test_usage=True)
+        assert wide.total == 68  # the full fixed population
+
+    def test_render(self, campaign):
+        text = render_campaign(campaign, preview=2)
+        assert "43 projects" in text
+        assert text.count("---") == 2

@@ -1,0 +1,108 @@
+"""Tests for the artifact-release exporter."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.release import export_release
+from repro.data import paper
+
+
+@pytest.fixture(scope="module")
+def release_dir(world, sweep, harm_result, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("release")
+    export_release(world, sweep, harm_result, str(directory))
+    return directory
+
+
+def _read_csv(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestRepositoriesCsv:
+    def test_row_count(self, release_dir):
+        rows = _read_csv(release_dir / "repositories.csv")
+        assert len(rows) == paper.REPOSITORY_COUNT
+
+    def test_bitwarden_row(self, release_dir):
+        rows = {row["repository"]: row for row in _read_csv(release_dir / "repositories.csv")}
+        bitwarden = rows["bitwarden/server"]
+        assert bitwarden["strategy"] == "fixed"
+        assert bitwarden["subtype"] == "production"
+        assert bitwarden["list_age_days"] == "1596"
+        assert bitwarden["missing_hostnames"] == "36326"
+
+    def test_undatable_rows_have_empty_age(self, release_dir):
+        rows = _read_csv(release_dir / "repositories.csv")
+        undatable = [row for row in rows if row["datable"] == "0"]
+        assert len(undatable) == 122
+        assert all(row["list_age_days"] == "" for row in undatable)
+
+    def test_strategy_marginals(self, release_dir):
+        rows = _read_csv(release_dir / "repositories.csv")
+        fixed = sum(1 for row in rows if row["strategy"] == "fixed")
+        assert fixed == 68
+
+
+class TestSuffixScheduleCsv:
+    def test_row_count_and_total(self, release_dir):
+        rows = _read_csv(release_dir / "suffix_schedule.csv")
+        assert len(rows) == paper.MISSING_ETLD_COUNT
+        assert sum(int(row["hostnames"]) for row in rows) == paper.AFFECTED_HOSTNAME_COUNT
+
+    def test_table2_flagged(self, release_dir):
+        rows = _read_csv(release_dir / "suffix_schedule.csv")
+        flagged = [row["suffix"] for row in rows if row["in_table2"] == "1"]
+        assert len(flagged) == 15
+        assert "myshopify.com" in flagged
+
+
+class TestSweepCsv:
+    def test_row_count(self, release_dir, world):
+        rows = _read_csv(release_dir / "sweep.csv")
+        assert len(rows) == len(world.store)
+
+    def test_final_row_diff_zero(self, release_dir):
+        rows = _read_csv(release_dir / "sweep.csv")
+        assert rows[-1]["hostnames_diff_vs_latest"] == "0"
+
+
+class TestLoadRelease:
+    def test_roundtrip(self, release_dir):
+        from repro.analysis.dataset import load_release
+
+        bundle = load_release(str(release_dir))
+        assert len(bundle.repositories) == paper.REPOSITORY_COUNT
+        assert len(bundle.suffixes) == paper.MISSING_ETLD_COUNT
+        assert bundle.verify() == []
+
+    def test_typed_records(self, release_dir):
+        from repro.analysis.dataset import load_release
+
+        bundle = load_release(str(release_dir))
+        bitwarden = next(r for r in bundle.repositories if r.repository == "bitwarden/server")
+        assert bitwarden.datable and bitwarden.list_age_days == 1596
+        myshopify = next(s for s in bundle.suffixes if s.suffix == "myshopify.com")
+        assert myshopify.in_table2 and myshopify.hostnames == 7848
+        assert myshopify.addition_date.year == 2021
+
+    def test_verify_catches_tampering(self, release_dir):
+        from repro.analysis.dataset import load_release
+
+        bundle = load_release(str(release_dir))
+        tampered = type(bundle)(
+            repositories=bundle.repositories[:-1],
+            suffixes=bundle.suffixes,
+            manifest=bundle.manifest,
+        )
+        assert tampered.verify()
+
+
+class TestManifest:
+    def test_headline_recorded(self, release_dir):
+        with open(release_dir / "MANIFEST.json", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["headline"]["missing_etlds"] == manifest["headline"]["paper_missing_etlds"]
+        assert manifest["world_seed"] == 20230701

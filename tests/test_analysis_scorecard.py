@@ -1,0 +1,68 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.analysis.scorecard import (
+    ScoreRow,
+    _numeric_row,
+    _shape_row,
+    build_scorecard,
+    render_scorecard,
+)
+
+
+class TestRowHelpers:
+    def test_exact(self):
+        assert _numeric_row("X", "q", 10, 10).verdict == "exact"
+
+    def test_within_tolerance(self):
+        assert _numeric_row("X", "q", 10, 12, tolerance=5).verdict == "within"
+
+    def test_mismatch(self):
+        assert _numeric_row("X", "q", 10, 20, tolerance=5).verdict == "MISMATCH"
+
+    def test_shape_rows(self):
+        assert _shape_row("X", "q", True, "ok").verdict == "shape"
+        assert _shape_row("X", "q", False, "bad").verdict == "MISMATCH"
+
+    def test_values_formatted_with_separators(self):
+        row = _numeric_row("X", "q", 50750, 50750)
+        assert row.paper_value == "50,750"
+
+
+class TestBuildScorecard:
+    @pytest.fixture(scope="class")
+    def rows(self, world, harm_result, sweep):
+        # The session sweep is harm-exact (tables-style); shape rows are
+        # exercised by the bench with the figures preset.
+        return build_scorecard(world, harm_result, figures_sweep=None)
+
+    def test_no_mismatches(self, rows):
+        assert [row for row in rows if row.verdict == "MISMATCH"] == []
+
+    def test_exact_rows_dominate(self, rows):
+        assert sum(1 for row in rows if row.verdict == "exact") >= 15
+
+    def test_without_figures_sweep_no_shape_rows(self, rows):
+        assert all(row.verdict != "shape" for row in rows)
+
+    def test_every_paper_artifact_present(self, rows):
+        artifacts = {row.artifact for row in rows}
+        assert {"FIG2", "FIG3", "FIG4", "TAB1", "TAB2", "TAB3"} <= artifacts
+
+
+class TestRender:
+    def test_summary_line(self):
+        rows = [
+            ScoreRow("X", "a", "1", "1", "exact"),
+            ScoreRow("X", "b", "(shape)", "ok", "shape"),
+        ]
+        text = render_scorecard(rows)
+        assert "2 rows: 1 exact" in text
+        assert "0 mismatches" in text
+
+    def test_columns_aligned(self):
+        rows = [ScoreRow("FIG2", "versions", "1,142", "1,142", "exact")]
+        lines = render_scorecard(rows).splitlines()
+        assert lines[0].startswith("artifact")
+        assert "exact" in lines[1]

@@ -1,0 +1,49 @@
+"""Tests for the counterfactual remediation analysis."""
+
+from repro.analysis.whatif import policy_curve, render_policy_curve, residual_harm
+from repro.calibrate.suffixes import ANCHORS
+
+
+class TestResidualHarm:
+    def test_matches_anchor_curve(self, sweep):
+        """Residual harm at an anchor age equals the anchor mass."""
+        anchors = dict(ANCHORS)
+        assert residual_harm(sweep, 746) == anchors[746]
+        assert residual_harm(sweep, 1596) == anchors[1596]
+
+    def test_fresh_policy_removes_everything(self, sweep):
+        # A 49-day cap is the newest version: zero misclassification.
+        assert residual_harm(sweep, 49) == 0
+
+    def test_monotone_in_age(self, sweep):
+        ages = (90, 365, 730, 1460, 2070)
+        values = [residual_harm(sweep, age) for age in ages]
+        assert values == sorted(values)
+
+
+class TestPolicyCurve:
+    def test_curve_shape(self, sweep):
+        outcomes = policy_curve(sweep)
+        assert outcomes[0].max_age_days == 30
+        residuals = [o.residual_misclassified_hostnames for o in outcomes]
+        assert residuals == sorted(residuals)
+
+    def test_strictest_policy_removes_all(self, sweep):
+        strictest = policy_curve(sweep)[0]
+        assert strictest.residual_misclassified_hostnames <= 1
+        assert strictest.removal_fraction > 0.99
+
+    def test_laxest_policy_removes_nothing(self, sweep):
+        laxest = policy_curve(sweep)[-1]
+        assert laxest.removed_misclassified_hostnames == 0
+
+    def test_annual_refresh_is_a_big_win(self, sweep):
+        """Even a yearly refresh removes most of the measured harm —
+        the quantified version of the paper's recommendation."""
+        by_age = {o.max_age_days: o for o in policy_curve(sweep)}
+        assert by_age[365].removal_fraction > 0.8
+
+    def test_render(self, sweep):
+        text = render_policy_curve(policy_curve(sweep))
+        assert "max list age" in text
+        assert "%" in text

@@ -1,0 +1,186 @@
+"""Tests for the calibration layer."""
+
+import pytest
+
+from repro.calibrate import ages, intervals, suffixes
+from repro.calibrate.words import compound, unique_names
+from repro.data import paper
+import random
+
+
+class TestIntervals:
+    def test_count_above(self):
+        assert intervals.count_above([1, 5, 10], 4) == 2
+        assert intervals.count_above([1, 5, 10], 10) == 0
+
+    def test_verify_constraints_pass(self):
+        assert intervals.verify_count_constraints([1, 5, 10], [(4, 2), (0, 3)]) == []
+
+    def test_verify_constraints_fail_reports(self):
+        problems = intervals.verify_count_constraints([1, 5], [(0, 3)])
+        assert len(problems) == 1 and "expected 3" in problems[0]
+
+    def test_spread_interior(self):
+        values = intervals.spread(10, 100, 5)
+        assert all(10 < value < 100 for value in values)
+        assert values == sorted(values)
+
+    def test_spread_zero(self):
+        assert intervals.spread(0, 10, 0) == []
+
+    def test_spread_degenerate_interval(self):
+        with pytest.raises(ValueError):
+            intervals.spread(5, 6, 1)
+
+    def test_quantized_spread_on_grid(self):
+        values = intervals.quantized_spread(100, 200, 30, grid=7)
+        assert all(100 < value < 200 for value in values)
+        assert all((value - 101) % 7 == 0 for value in values)
+
+    def test_quantized_spread_narrow_interval(self):
+        values = intervals.quantized_spread(644, 664, 3)
+        assert all(644 < value < 664 for value in values)
+
+    def test_partition_total_exact(self):
+        parts = intervals.partition_total(100, [1, 2, 3])
+        assert sum(parts) == 100
+        assert parts[2] > parts[0]
+
+    def test_partition_total_zero(self):
+        assert sum(intervals.partition_total(0, [1, 1])) == 0
+
+    def test_partition_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            intervals.partition_total(10, [0, 0])
+
+    def test_zipf_counts_sum_and_bounds(self):
+        counts = intervals.zipf_counts(1000, 50, cap=700)
+        assert sum(counts) == 1000
+        assert all(1 <= value <= 700 for value in counts)
+        assert counts[0] >= counts[-1]
+
+    def test_zipf_counts_each_at_least_one(self):
+        counts = intervals.zipf_counts(10, 10, cap=5)
+        assert counts == [1] * 10
+
+    def test_zipf_counts_infeasible(self):
+        with pytest.raises(ValueError):
+            intervals.zipf_counts(5, 10, cap=100)
+
+    def test_zipf_cap_enforced(self):
+        counts = intervals.zipf_counts(300, 4, cap=100)
+        assert max(counts) <= 100 and sum(counts) == 300
+
+
+class TestWords:
+    def test_compound_deterministic(self):
+        assert compound(random.Random(1)) == compound(random.Random(1))
+
+    def test_unique_names_no_repeats(self):
+        taken: set[str] = set()
+        generator = unique_names(random.Random(7), taken)
+        names = [next(generator) for _ in range(500)]
+        assert len(set(names)) == 500
+
+    def test_unique_names_respects_taken(self):
+        rng = random.Random(7)
+        first = compound(random.Random(7))
+        taken = {first}
+        generator = unique_names(rng, taken)
+        assert next(generator) != first
+
+
+class TestSuffixSchedule:
+    def test_verify_schedule_clean(self):
+        assert suffixes.verify_schedule(suffixes.full_schedule()) == []
+
+    def test_totals(self):
+        schedule = suffixes.full_schedule()
+        assert len(schedule) == paper.MISSING_ETLD_COUNT
+        assert sum(r.hostnames for r in schedule) == paper.AFFECTED_HOSTNAME_COUNT
+
+    def test_table2_members_present(self):
+        names = {record.suffix for record in suffixes.full_schedule()}
+        for row in paper.TABLE2:
+            assert row.etld in names
+
+    def test_remainder_capped_below_table2(self):
+        smallest_table2 = min(row.hostnames for row in paper.TABLE2)
+        for record in suffixes.remainder_suffixes():
+            assert record.hostnames < smallest_table2
+
+    def test_ages_within_history(self):
+        for record in suffixes.full_schedule():
+            assert paper.HISTORY_FIRST_DATE <= record.addition_date <= paper.HISTORY_LAST_DATE
+
+    def test_deterministic(self):
+        assert suffixes.full_schedule(99) == suffixes.full_schedule(99)
+
+    def test_different_seeds_differ(self):
+        first = {r.suffix for r in suffixes.remainder_suffixes(1)}
+        second = {r.suffix for r in suffixes.remainder_suffixes(2)}
+        assert first != second
+
+    def test_no_duplicate_suffixes(self):
+        schedule = suffixes.full_schedule()
+        assert len({record.suffix for record in schedule}) == len(schedule)
+
+    def test_verify_catches_tampering(self):
+        schedule = suffixes.full_schedule()
+        problems = suffixes.verify_schedule(schedule[:-1])
+        assert problems
+
+
+class TestDerivationReport:
+    def test_every_window_feasible(self):
+        from repro.calibrate.report import derive_windows
+
+        assert all(derivation.feasible for derivation in derive_windows())
+
+    def test_verify_derivation_clean(self):
+        from repro.calibrate.report import verify_derivation
+
+        assert verify_derivation() == []
+
+    def test_documented_windows_match(self):
+        """The windows quoted in docs/calibration.md, re-derived."""
+        from repro.calibrate.report import derive_windows
+
+        windows = {d.etld: (d.window_low, d.window_high) for d in derive_windows()}
+        assert windows["digitaloceanspaces.com"] == (376, 529)
+        assert windows["myshopify.com"] == (664, 746)
+        assert windows["readthedocs.io"] == (1233, 1520)
+
+    def test_render(self):
+        from repro.calibrate.report import render_derivation
+
+        text = render_derivation()
+        assert "myshopify.com" in text and "[ 664,  746)" in text
+
+
+class TestAgeVectors:
+    def test_medians(self):
+        medians = ages.strategy_medians()
+        assert medians["fixed"] == paper.MEDIAN_AGE_FIXED
+        assert medians["updated"] == paper.MEDIAN_AGE_UPDATED
+        assert medians["all"] == paper.MEDIAN_AGE_ALL
+
+    def test_datable_counts(self):
+        assert len(ages.fixed_ages()) == 47
+        assert len(ages.updated_ages()) == 23
+        assert len(ages.dependency_ages()) == 81
+
+    def test_undatable_counts_match_taxonomy(self):
+        undatable = ages.undatable_counts()
+        totals = paper.table1_totals()
+        assert undatable["fixed"] + len(ages.fixed_ages()) == totals["fixed"]
+        assert undatable["updated"] + len(ages.updated_ages()) == totals["updated"]
+        assert undatable["dependency"] + len(ages.dependency_ages()) == totals["dependency"]
+
+    def test_table2_count_constraints_hold(self):
+        # The published U and D columns, re-derived from the vectors.
+        schedule = {record.suffix: record for record in suffixes.table2_suffixes()}
+        for row in paper.TABLE2:
+            age = schedule[row.etld].age_days
+            assert intervals.count_above(ages.updated_ages(), age) == row.updated, row.etld
+            assert intervals.count_above(ages.dependency_ages(), age) == row.dependency, row.etld

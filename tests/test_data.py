@@ -1,0 +1,142 @@
+"""Tests for the embedded seed data."""
+
+import statistics
+
+from repro.data import cc_second_level, jp_geo, paper, private_suffixes, tlds
+from repro.psl.rules import Rule
+
+
+class TestTlds:
+    def test_all_tlds_unique(self):
+        records = tlds.all_tlds()
+        assert len({record.name for record in records}) == len(records)
+
+    def test_all_parse_as_rules(self):
+        for record in tlds.all_tlds():
+            assert Rule.parse(record.name).component_count == 1
+
+    def test_cc_count_realistic(self):
+        assert 230 <= len(tlds.country_code_tlds()) <= 260
+
+    def test_legacy_predates_psl(self):
+        legacy = set(tlds.legacy_tlds())
+        assert {"com", "net", "org", "uk", "jp", "arpa", "edu"} <= legacy
+        assert "app" not in legacy
+
+    def test_new_gtld_years(self):
+        by_year = tlds.new_gtlds_by_year()
+        assert "xyz" in by_year[2014]
+        assert "dev" in by_year[2018]
+
+    def test_categories(self):
+        categories = {record.name: record.category for record in tlds.all_tlds()}
+        assert categories["com"] is tlds.TldCategory.GENERIC
+        assert categories["uk"] is tlds.TldCategory.COUNTRY_CODE
+        assert categories["edu"] is tlds.TldCategory.SPONSORED
+        assert categories["arpa"] is tlds.TldCategory.INFRASTRUCTURE
+        assert categories["biz"] is tlds.TldCategory.GENERIC_RESTRICTED
+
+
+class TestCcSecondLevel:
+    def test_rules_parse(self):
+        for text in cc_second_level.all_second_level_rules():
+            Rule.parse(text)
+
+    def test_known_examples(self):
+        rules = set(cc_second_level.all_second_level_rules())
+        assert {"co.uk", "com.au", "co.nz", "com.br", "ac.jp"} <= rules
+
+    def test_wildcard_era_ccs_are_real_ccs(self):
+        ccs = set(tlds.country_code_tlds())
+        assert set(cc_second_level.WILDCARD_ERA) <= ccs
+
+    def test_never_refined_marked_zero(self):
+        assert cc_second_level.WILDCARD_ERA["ck"] == 0
+        assert cc_second_level.WILDCARD_ERA["uk"] > 2007
+
+    def test_exceptions_reference_wildcard_ccs(self):
+        for cc in cc_second_level.WILDCARD_EXCEPTIONS:
+            assert cc in cc_second_level.WILDCARD_ERA
+
+
+class TestJpGeo:
+    def test_47_prefectures(self):
+        assert len(jp_geo.PREFECTURES) == 47
+        assert "tokyo" in jp_geo.PREFECTURES
+
+    def test_city_suffixes_exact_count(self):
+        suffixes = jp_geo.city_suffixes(1576)
+        assert len(suffixes) == 1576
+        assert len(set(suffixes)) == 1576
+
+    def test_city_suffixes_shape(self):
+        for suffix in jp_geo.city_suffixes(100):
+            parts = suffix.split(".")
+            assert len(parts) == 3 and parts[2] == "jp"
+            assert parts[1] in jp_geo.PREFECTURES
+
+    def test_deterministic(self):
+        assert jp_geo.city_suffixes(500, seed=3) == jp_geo.city_suffixes(500, seed=3)
+
+    def test_rules_parse(self):
+        for suffix in jp_geo.city_suffixes(200):
+            Rule.parse(suffix)
+
+
+class TestPrivateSuffixes:
+    def test_table2_metadata_covers_table2(self):
+        names = {record.suffix for record in private_suffixes.TABLE2_SUFFIXES}
+        assert names == {row.etld for row in paper.TABLE2}
+
+    def test_table2_have_no_fixed_year(self):
+        assert all(record.year is None for record in private_suffixes.TABLE2_SUFFIXES)
+
+    def test_known_have_years(self):
+        assert all(record.year is not None for record in private_suffixes.all_known())
+
+    def test_no_duplicates(self):
+        names = [record.suffix for record in private_suffixes.all_known()]
+        assert len(set(names)) == len(names)
+
+    def test_blogspot_family_size(self):
+        assert len(private_suffixes.blogspot_suffixes()) == len(
+            private_suffixes.BLOGSPOT_COUNTRIES
+        )
+
+    def test_aws_endpoints_multicomponent(self):
+        for record in private_suffixes.aws_suffixes():
+            assert Rule.parse(record.suffix).component_count >= 3
+
+
+class TestPaperData:
+    def test_table1_sums(self):
+        totals = paper.table1_totals()
+        assert totals == {"fixed": 68, "updated": 35, "dependency": 170}
+        assert sum(totals.values()) == paper.REPOSITORY_COUNT
+
+    def test_table3_fixed_median(self):
+        assert statistics.median(paper.table3_ages()) == paper.MEDIAN_AGE_FIXED
+
+    def test_table3_pearson(self):
+        from repro.analysis.popularity import pearson
+
+        rows = paper.TABLE3
+        value = pearson([r.stars for r in rows], [r.forks for r in rows])
+        assert round(value, 2) == paper.STARS_FORKS_PEARSON
+
+    def test_table3_subtype_counts(self):
+        assert len(paper.table3_rows("production")) == 33
+        assert len(paper.table3_rows("test")) == 13
+        assert len(paper.table3_rows("other")) == 1
+
+    def test_table2_shape(self):
+        assert len(paper.TABLE2) == 15
+        assert paper.TABLE2[0].etld == "myshopify.com"
+        assert paper.table2_hostname_total() == 31100
+
+    def test_headlines(self):
+        assert paper.MISSING_ETLD_COUNT == 1313
+        assert paper.AFFECTED_HOSTNAME_COUNT == 50750
+
+    def test_component_share_sums_to_one(self):
+        assert abs(sum(paper.COMPONENT_SHARE.values()) - 0.999) < 0.01

@@ -1,0 +1,119 @@
+"""Tests for the DBOUND prototype."""
+
+from repro.dbound.compare import compare_boundaries
+from repro.dbound.records import Assertion, BoundaryZone
+from repro.dbound.resolver import BoundaryResolver
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule
+
+
+def _psl(*texts):
+    return PublicSuffixList(Rule.parse(text) for text in texts)
+
+
+class TestZone:
+    def test_publish_and_lookup(self):
+        zone = BoundaryZone()
+        record = zone.publish("co.uk", Assertion.BOUNDARY)
+        assert zone.lookup("co.uk") is record
+        assert record.record_name == "_bound.co.uk"
+
+    def test_publish_replaces(self):
+        zone = BoundaryZone()
+        zone.publish("x.com", Assertion.BOUNDARY)
+        zone.publish("x.com", Assertion.INDEPENDENT)
+        assert zone.lookup("x.com").assertion is Assertion.INDEPENDENT
+        assert len(zone) == 1
+
+    def test_withdraw(self):
+        zone = BoundaryZone()
+        zone.publish("x.com", Assertion.BOUNDARY)
+        assert zone.withdraw("x.com")
+        assert not zone.withdraw("x.com")
+        assert zone.lookup("x.com") is None
+
+    def test_from_psl(self, small_psl):
+        zone = BoundaryZone.from_psl(small_psl)
+        assert zone.lookup("co.uk").assertion is Assertion.BOUNDARY
+        assert zone.lookup("ck").assertion is Assertion.INDEPENDENT
+        assert zone.lookup("www.ck") is None  # exceptions publish nothing
+
+
+class TestResolver:
+    def test_boundary_record(self):
+        zone = BoundaryZone()
+        zone.publish("com", Assertion.BOUNDARY)
+        answer = BoundaryResolver(zone).resolve("www.example.com")
+        assert answer.public_suffix == "com"
+        assert answer.registrable_domain == "example.com"
+        assert answer.site == "example.com"
+
+    def test_boundary_record_splits_tenants(self):
+        # A normal suffix rule (github.io) maps to a BOUNDARY record.
+        zone = BoundaryZone()
+        zone.publish("io", Assertion.BOUNDARY)
+        zone.publish("github.io", Assertion.BOUNDARY)
+        resolver = BoundaryResolver(zone)
+        assert not resolver.same_site("a.github.io", "b.github.io")
+        assert resolver.resolve("x.a.github.io").site == "a.github.io"
+
+    def test_independent_record_is_the_wildcard(self):
+        # INDEPENDENT at ck == the PSL's *.ck: each child is a suffix.
+        zone = BoundaryZone()
+        zone.publish("ck", Assertion.INDEPENDENT)
+        resolver = BoundaryResolver(zone)
+        answer = resolver.resolve("a.b.ck")
+        assert answer.public_suffix == "b.ck"
+        assert answer.site == "a.b.ck"
+
+    def test_no_records_default(self):
+        answer = BoundaryResolver(BoundaryZone()).resolve("a.b.zz")
+        assert answer.public_suffix == "zz"
+        assert answer.registrable_domain == "b.zz"
+
+    def test_host_equal_to_suffix(self):
+        zone = BoundaryZone()
+        zone.publish("com", Assertion.BOUNDARY)
+        answer = BoundaryResolver(zone).resolve("com")
+        assert answer.registrable_domain is None
+        assert answer.site == "com"
+
+    def test_lookup_counter(self):
+        zone = BoundaryZone()
+        resolver = BoundaryResolver(zone, lookup_counter=True)
+        resolver.resolve("a.b.c.com")
+        assert resolver.lookups == 4
+
+
+class TestAgreement:
+    HOSTS = [
+        "www.example.com", "a.github.io", "b.github.io", "github.io",
+        "amazon.co.uk", "x.amazon.co.uk", "foo.bar.ck", "unknown.zz",
+        "a.blogspot.com", "kyoto.jp", "x.kyoto.jp",
+    ]
+
+    def test_migrated_zone_agrees_with_psl(self, small_psl):
+        agreement = compare_boundaries(small_psl, self.HOSTS)
+        assert agreement.agreement_rate == 1.0
+        assert agreement.disagreements == ()
+
+    def test_stale_zone_disagrees(self, small_psl):
+        outdated = _psl("com", "io", "uk", "co.uk")
+        stale_zone = BoundaryZone.from_psl(outdated)
+        agreement = compare_boundaries(small_psl, self.HOSTS, zone=stale_zone)
+        assert agreement.agreement_rate < 1.0
+        disagreeing_hosts = {host for host, _, _ in agreement.disagreements}
+        assert "a.github.io" in disagreeing_hosts
+
+    def test_freshness_property(self, small_psl):
+        """Updating the zone removes the disagreement instantly —
+        the staleness class of harm does not exist in DBOUND."""
+        zone = BoundaryZone.from_psl(_psl("com", "io"))
+        before = compare_boundaries(small_psl, ["a.github.io", "b.github.io"], zone=zone)
+        assert before.agreement_rate < 1.0
+        zone.publish("github.io", Assertion.BOUNDARY)
+        after = compare_boundaries(small_psl, ["a.github.io", "b.github.io"], zone=zone)
+        assert after.agreement_rate == 1.0
+
+    def test_empty_universe(self, small_psl):
+        assert compare_boundaries(small_psl, []).agreement_rate == 1.0

@@ -1,0 +1,86 @@
+"""Tests for the DNS-backed DBOUND path and DNS-backed DMARC."""
+
+import pytest
+
+from repro.dbound.records import Assertion, BoundaryZone
+from repro.dbound.resolver import BoundaryResolver, DnsBoundaryResolver
+from repro.net.dns import Nameserver, RecordType, ResourceRecord, StubResolver, Zone
+from repro.privacy.dmarc import discover_policy_dns
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule
+
+
+def _psl(*texts):
+    return PublicSuffixList(Rule.parse(text) for text in texts)
+
+
+@pytest.fixture()
+def dns_boundary():
+    zone = BoundaryZone.from_psl(_psl("com", "co.uk", "uk", "github.io", "io", "*.ck"))
+    resolver = StubResolver(zone.to_nameserver())
+    return zone, resolver
+
+
+class TestDnsBoundaryResolver:
+    def test_agrees_with_in_memory_resolver(self, dns_boundary):
+        zone, stub = dns_boundary
+        dns_resolver = DnsBoundaryResolver(stub)
+        memory_resolver = BoundaryResolver(zone)
+        for host in (
+            "www.example.com", "a.github.io", "github.io", "x.amazon.co.uk",
+            "foo.bar.ck", "unknown.zz",
+        ):
+            assert dns_resolver.resolve(host).site == memory_resolver.resolve(host).site, host
+
+    def test_same_site(self, dns_boundary):
+        _, stub = dns_boundary
+        resolver = DnsBoundaryResolver(stub)
+        assert not resolver.same_site("a.github.io", "b.github.io")
+        assert resolver.same_site("www.example.com", "api.example.com")
+
+    def test_queries_cached(self, dns_boundary):
+        _, stub = dns_boundary
+        resolver = DnsBoundaryResolver(stub)
+        resolver.resolve("a.github.io")
+        first_round = stub.upstream_queries
+        resolver.resolve("b.github.io")
+        # 'io' and 'github.io' answers come from cache; only the new
+        # leaf name costs an upstream query.
+        assert stub.upstream_queries - first_round <= 1
+
+    def test_independent_over_dns(self):
+        zone = BoundaryZone()
+        zone.publish("ck", Assertion.INDEPENDENT)
+        resolver = DnsBoundaryResolver(StubResolver(zone.to_nameserver()))
+        assert resolver.resolve("a.b.ck").public_suffix == "b.ck"
+
+
+class TestDnsDmarc:
+    def test_discovery_over_dns(self):
+        psl = _psl("com")
+        dns_zone = Zone("example.com")
+        dns_zone.add(
+            ResourceRecord("_dmarc.example.com", RecordType.TXT, "v=DMARC1; p=reject")
+        )
+        resolver = StubResolver(Nameserver([dns_zone]))
+        result = discover_policy_dns(psl, resolver, "mail.example.com")
+        assert result.found
+        assert result.queried == ("_dmarc.mail.example.com", "_dmarc.example.com")
+
+    def test_cname_redirected_record(self):
+        """Real deployments CNAME _dmarc to a managed provider."""
+        psl = _psl("com")
+        zone = Zone("")
+        zone.add(ResourceRecord("_dmarc.example.com", RecordType.CNAME, "policy.vendor.net"))
+        zone.add(ResourceRecord("policy.vendor.net", RecordType.TXT, "v=DMARC1; p=none"))
+        resolver = StubResolver(Nameserver([zone]))
+        result = discover_policy_dns(psl, resolver, "example.com")
+        assert result.found
+
+    def test_negative_cache_speeds_repeat_lookups(self):
+        psl = _psl("com")
+        resolver = StubResolver(Nameserver([Zone("example.com")]))
+        discover_policy_dns(psl, resolver, "mail.example.com")
+        queries = resolver.upstream_queries
+        discover_policy_dns(psl, resolver, "mail.example.com")
+        assert resolver.upstream_queries == queries  # all answers cached

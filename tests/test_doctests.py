@@ -1,0 +1,42 @@
+"""Run the doctest examples embedded in the public API docstrings.
+
+Docstrings with ``>>>`` examples are part of the documentation
+deliverable; this keeps them executable truth rather than decoration.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.charts
+import repro.analysis.popularity
+import repro.net.hostname
+import repro.net.url
+import repro.psl.diff
+import repro.psl.idna
+import repro.psl.list
+import repro.psl.parser
+import repro.psl.punycode
+import repro.psl.rules
+import repro.psl.serialize
+
+MODULES = [
+    repro.analysis.charts,
+    repro.analysis.popularity,
+    repro.net.hostname,
+    repro.net.url,
+    repro.psl.diff,
+    repro.psl.idna,
+    repro.psl.list,
+    repro.psl.parser,
+    repro.psl.punycode,
+    repro.psl.rules,
+    repro.psl.serialize,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"

@@ -1,0 +1,118 @@
+"""Edge-case coverage across modules: the paths routine tests miss."""
+
+import datetime
+
+import pytest
+
+from repro.history.store import VersionStore
+from repro.psl.diff import RuleDelta
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule
+
+
+def _rules(*texts):
+    return [Rule.parse(t) for t in texts]
+
+
+class TestEmptyPsl:
+    def test_everything_falls_to_default_rule(self):
+        psl = PublicSuffixList()
+        assert psl.public_suffix("a.b.c") == "c"
+        assert psl.registrable_domain("a.b.c") == "b.c"
+        assert psl.is_public_suffix("c")
+        assert len(psl) == 0
+
+    def test_extract_on_empty(self):
+        result = PublicSuffixList().extract("a.b.c")
+        assert result.suffix == "c" and result.domain == "b" and result.subdomain == "a"
+
+    def test_single_label_host(self):
+        psl = PublicSuffixList()
+        match = psl.match("localhost")
+        assert match.public_suffix == "localhost"
+        assert match.registrable_domain is None
+
+
+class TestStoreEdges:
+    def test_single_version_store(self):
+        store = VersionStore()
+        store.commit_rules(datetime.date(2020, 1, 1), added=_rules("com"))
+        assert store.delta_between(0, 0) == RuleDelta(frozenset(), frozenset())
+        assert store.checkout(0).public_suffix("a.com") == "com"
+
+    def test_snapshot_interval_one(self):
+        store = VersionStore(snapshot_interval=1)
+        store.commit_rules(datetime.date(2020, 1, 1), added=_rules("com"))
+        store.commit_rules(datetime.date(2020, 2, 1), added=_rules("net"))
+        assert len(store.rules_at(1)) == 2
+
+    def test_checkout_cache_eviction(self):
+        store = VersionStore(checkout_cache_size=1)
+        store.commit_rules(datetime.date(2020, 1, 1), added=_rules("com"))
+        store.commit_rules(datetime.date(2020, 2, 1), added=_rules("net"))
+        first = store.checkout(0)
+        second = store.checkout(1)
+        # Version 0 was evicted; a fresh object comes back but is equal.
+        third = store.checkout(0)
+        assert third == first and second is not None
+
+
+class TestScannerEdges:
+    def test_oversized_file_skipped(self, tmp_path):
+        from repro.psltool.scanner import MAX_SCAN_BYTES, scan_tree
+
+        big = tmp_path / "public_suffix_list.dat"
+        big.write_text("com\n" * (MAX_SCAN_BYTES // 4 + 10))
+        assert scan_tree(str(tmp_path)) == []
+
+    def test_nested_directories_walked(self, tmp_path):
+        from repro.psltool.scanner import scan_tree
+
+        deep = tmp_path / "a" / "b" / "c"
+        deep.mkdir(parents=True)
+        (deep / "public_suffix_list.dat").write_text("com\n")
+        found = scan_tree(str(tmp_path))
+        assert len(found) == 1
+
+
+class TestReportEdges:
+    def test_table3_limit(self, harm_result):
+        from repro.analysis.report import render_table3
+
+        limited = render_table3(harm_result, limit=3)
+        full = render_table3(harm_result)
+        assert len(limited.splitlines()) < len(full.splitlines())
+
+    def test_figure4_limit(self, world):
+        from repro.analysis.popularity import popularity
+        from repro.analysis.report import render_figure4
+
+        text = render_figure4(popularity(world), limit=2)
+        assert "bitwarden/server" not in text or "ClickHouse" in text
+
+
+class TestCliExposure:
+    def test_ext_exposure_runs(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["ext-exposure"]) == 0
+        out = capsys.readouterr().out
+        assert "autofill pairs" in out
+
+
+class TestUrlEdges:
+    def test_unknown_scheme_port_zero(self):
+        from repro.net.url import parse_url
+
+        assert parse_url("gopher://example.com/").port == 0
+
+    def test_empty_query_string(self):
+        from repro.net.url import parse_url
+
+        assert parse_url("https://example.com/a?").query == ""
+
+    def test_port_with_empty_digits(self):
+        from repro.net.url import parse_url
+
+        # 'https://example.com:' parses with default port.
+        assert parse_url("https://example.com:/x").port == 443

@@ -1,0 +1,133 @@
+"""Tests for history export/import."""
+
+import datetime
+import json
+import os
+
+from repro.history.export import (
+    INDEX_FILENAME,
+    export_history,
+    import_history,
+    import_plain_directory,
+)
+from repro.history.store import VersionStore
+from repro.psl.rules import Rule
+from repro.psl.serialize import serialize_rules
+
+
+def _rules(*texts):
+    return [Rule.parse(text) for text in texts]
+
+
+def _small_store():
+    store = VersionStore()
+    store.commit_rules(datetime.date(2018, 1, 1), added=_rules("com", "net"))
+    store.commit_rules(datetime.date(2019, 6, 1), added=_rules("co.uk"), message="add uk")
+    store.commit_rules(datetime.date(2020, 3, 1), removed=_rules("net"))
+    return store
+
+
+class TestRoundtrip:
+    def test_export_writes_files(self, tmp_path):
+        count = export_history(_small_store(), str(tmp_path))
+        assert count == 3
+        assert (tmp_path / INDEX_FILENAME).exists()
+        assert (tmp_path / "0001_2019-06-01.dat").exists()
+
+    def test_roundtrip_preserves_rule_sets(self, tmp_path):
+        original = _small_store()
+        export_history(original, str(tmp_path))
+        rebuilt = import_history(str(tmp_path))
+        assert len(rebuilt) == len(original)
+        for index in range(len(original)):
+            assert rebuilt.rules_at(index) == original.rules_at(index)
+
+    def test_roundtrip_preserves_commit_chain(self, tmp_path):
+        original = _small_store()
+        export_history(original, str(tmp_path))
+        rebuilt = import_history(str(tmp_path))
+        assert [v.commit for v in rebuilt] == [v.commit for v in original]
+
+    def test_roundtrip_preserves_dates_and_messages(self, tmp_path):
+        original = _small_store()
+        export_history(original, str(tmp_path))
+        rebuilt = import_history(str(tmp_path))
+        assert [v.date for v in rebuilt] == [v.date for v in original]
+        assert rebuilt.version(1).message == "add uk"
+
+    def test_index_is_valid_json(self, tmp_path):
+        export_history(_small_store(), str(tmp_path))
+        with open(tmp_path / INDEX_FILENAME, encoding="utf-8") as handle:
+            index = json.load(handle)
+        assert [entry["index"] for entry in index] == [0, 1, 2]
+
+
+class TestPatchExport:
+    def test_roundtrip_rule_sets_and_hashes(self, tmp_path):
+        from repro.history.export import export_patches, import_patches
+
+        original = _small_store()
+        count = export_patches(original, str(tmp_path))
+        assert count == 3
+        rebuilt = import_patches(str(tmp_path))
+        assert [v.commit for v in rebuilt] == [v.commit for v in original]
+        assert rebuilt.rules_at(-1) == original.rules_at(-1)
+
+    def test_patches_are_compact(self, tmp_path):
+        from repro.history.export import export_history, export_patches
+
+        store = _small_store()
+        export_history(store, str(tmp_path / "full"))
+        export_patches(store, str(tmp_path / "patches"))
+        full_size = sum(f.stat().st_size for f in (tmp_path / "full").iterdir())
+        patch_size = sum(f.stat().st_size for f in (tmp_path / "patches").iterdir())
+        assert patch_size < full_size
+
+    def test_full_synthetic_history_roundtrips(self, store, tmp_path):
+        from repro.history.export import export_patches, import_patches
+
+        export_patches(store, str(tmp_path))
+        rebuilt = import_patches(str(tmp_path))
+        assert rebuilt.latest.commit == store.latest.commit
+        assert rebuilt.latest.set_digest == store.latest.set_digest
+
+
+class TestPlainDirectory:
+    def test_import_by_filename_dates(self, tmp_path):
+        store = _small_store()
+        for version in store:
+            path = tmp_path / f"snapshot_{version.date.isoformat()}.dat"
+            path.write_text(serialize_rules(store.rules_at(version.index)))
+        rebuilt = import_plain_directory(str(tmp_path))
+        assert len(rebuilt) == 3
+        assert rebuilt.latest.rule_count == store.latest.rule_count
+
+    def test_bare_date_filenames(self, tmp_path):
+        (tmp_path / "2020-01-01.dat").write_text("com\n")
+        (tmp_path / "2020-02-01.dat").write_text("com\nnet\n")
+        rebuilt = import_plain_directory(str(tmp_path))
+        assert [v.rule_count for v in rebuilt] == [1, 2]
+
+    def test_duplicate_content_skipped(self, tmp_path):
+        (tmp_path / "2020-01-01.dat").write_text("com\n")
+        (tmp_path / "2020-02-01.dat").write_text("com\n")  # unchanged
+        (tmp_path / "2020-03-01.dat").write_text("com\nnet\n")
+        rebuilt = import_plain_directory(str(tmp_path))
+        assert len(rebuilt) == 2
+
+    def test_undated_files_ignored(self, tmp_path):
+        (tmp_path / "2020-01-01.dat").write_text("com\n")
+        (tmp_path / "README.dat").write_text("not a date\n")
+        (tmp_path / "notes.txt").write_text("x")
+        assert len(import_plain_directory(str(tmp_path))) == 1
+
+    def test_dating_against_imported_history(self, tmp_path):
+        """The psl-doctor workflow against a real extracted tree."""
+        store = _small_store()
+        export_history(store, str(tmp_path))
+        rebuilt = import_history(str(tmp_path))
+        from repro.repos.dating import date_list_text
+
+        text = serialize_rules(store.rules_at(1))
+        result = date_list_text(rebuilt, text)
+        assert result.is_exact and result.version_index == 1

@@ -1,0 +1,43 @@
+"""Every synthesized list version passes the maintainers' lint.
+
+The real list is gated by acceptance checks on every commit; a faithful
+synthetic history must satisfy the same invariant.  (This test caught a
+real bug during development: Japanese designated-city exceptions
+without their covering wildcards.)
+"""
+
+from repro.psl.linter import lint_psl
+from repro.psl.serialize import serialize_rules
+
+
+def test_sampled_versions_lint_without_errors(store):
+    for index in (0, 1, len(store) // 4, len(store) // 2, 3 * len(store) // 4, len(store) - 1):
+        report = lint_psl(serialize_rules(store.rules_at(index)))
+        assert report.ok, (index, [str(f) for f in report.errors[:5]])
+
+
+def test_final_version_has_no_warnings_about_exceptions(store):
+    report = lint_psl(serialize_rules(store.rules_at(-1)))
+    assert not any("no covering wildcard" in f.message for f in report.findings)
+
+
+def test_every_exception_in_history_has_cover_when_added(store):
+    """Stronger than sampling: whenever an exception rule is added, a
+    covering wildcard exists in that same version's rule set."""
+    from repro.psl.rules import RuleKind
+
+    for version in store:
+        exceptions = [
+            rule for rule in version.delta.added if rule.kind is RuleKind.EXCEPTION
+        ]
+        if not exceptions:
+            continue
+        rules = store.rules_at(version.index)
+        wildcard_bases = {
+            ".".join(reversed(rule.labels[:-1]))
+            for rule in rules
+            if rule.kind is RuleKind.WILDCARD
+        }
+        for rule in exceptions:
+            parent = ".".join(reversed(rule.labels[:-1]))
+            assert parent in wildcard_bases, (version.date, rule.text)

@@ -1,0 +1,83 @@
+"""Tests for cadence/churn stats and Table CSV I/O."""
+
+import datetime
+
+from repro.history.stats import cadence, churn
+from repro.history.store import VersionStore
+from repro.psl.rules import Rule
+from repro.webgraph.tables import Table
+
+
+def _rules(*texts):
+    return [Rule.parse(t) for t in texts]
+
+
+def _small_store():
+    store = VersionStore()
+    store.commit_rules(datetime.date(2020, 1, 1), added=_rules("com", "net"))
+    store.commit_rules(datetime.date(2020, 3, 1), added=_rules("org"))
+    store.commit_rules(datetime.date(2021, 1, 1), added=_rules("dev"), removed=_rules("net"))
+    return store
+
+
+class TestCadence:
+    def test_small_store(self):
+        stats = cadence(_small_store())
+        assert stats.versions == 3
+        assert stats.years == 2
+        assert stats.versions_per_year == {2020: 2, 2021: 1}
+        assert stats.max_gap_days == 306
+
+    def test_synthetic_history_rhythm(self, store):
+        """The paper: "published several times each month" in the busy
+        years — at least monthly cadence on average overall."""
+        stats = cadence(store)
+        assert stats.versions == 1142
+        assert stats.years == 16
+        assert stats.mean_versions_per_year > 50
+        # Late years are denser than early ones, like the real repo.
+        assert stats.versions_per_year[2021] > stats.versions_per_year[2008]
+
+    def test_no_year_long_silences(self, store):
+        # The sparse early months (2007) allow long gaps, as in the real
+        # repository's first year; silences never reach a full year.
+        assert cadence(store).max_gap_days < 365
+
+
+class TestChurn:
+    def test_small_store(self):
+        stats = churn(_small_store())
+        assert stats.total_added == 4
+        assert stats.total_removed == 1
+        assert stats.net_growth == 3
+        assert stats.largest_delta == 2
+
+    def test_synthetic_history_churn(self, store):
+        stats = churn(store)
+        assert stats.net_growth == store.latest.rule_count - 0
+        assert stats.largest_delta >= 1623  # the initial import / JP burst
+        assert stats.mean_delta_size < 25
+
+
+class TestTableCsv:
+    def test_roundtrip(self, tmp_path):
+        table = Table.from_rows(("a", "b"), [("x", "1"), ("y", "2")])
+        path = tmp_path / "t.csv"
+        table.to_csv(str(path))
+        loaded = Table.from_csv(str(path))
+        assert loaded.columns == table.columns
+        assert list(loaded.rows()) == list(table.rows())
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        import pytest
+
+        with pytest.raises(ValueError):
+            Table.from_csv(str(path))
+
+    def test_values_preserved_with_commas(self, tmp_path):
+        table = Table.from_rows(("a",), [("x,y",)])
+        path = tmp_path / "t.csv"
+        table.to_csv(str(path))
+        assert Table.from_csv(str(path)).column("a") == ("x,y",)

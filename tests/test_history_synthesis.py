@@ -1,0 +1,81 @@
+"""Tests for the synthetic history's paper-shape checkpoints.
+
+These use the session-scoped store: synthesis is deterministic, so the
+assertions here pin the whole world's externally measurable shape.
+"""
+
+import datetime
+
+from repro.calibrate.ages import all_ages
+from repro.calibrate.suffixes import full_schedule
+from repro.data import paper
+from repro.history.timeline import growth_series, rule_addition_dates, spike_versions
+
+
+class TestCheckpoints:
+    def test_version_count(self, store):
+        assert len(store) == paper.HISTORY_VERSION_COUNT
+
+    def test_span(self, store):
+        assert store.version(0).date == paper.HISTORY_FIRST_DATE
+        assert store.latest.date == paper.HISTORY_LAST_DATE
+
+    def test_first_rule_count(self, store):
+        assert store.version(0).rule_count == paper.FIRST_RULE_COUNT
+
+    def test_final_rule_count(self, store):
+        assert store.latest.rule_count == paper.FINAL_RULE_COUNT
+
+    def test_2017_rule_count(self, store):
+        version = store.version_at_date(datetime.date(2017, 1, 1))
+        assert abs(version.rule_count - paper.RULE_COUNT_2017) <= 25
+
+    def test_dates_monotone(self, store):
+        dates = [version.date for version in store]
+        assert dates == sorted(dates)
+
+    def test_every_version_changes_rules(self, store):
+        assert all(version.delta for version in store)
+
+
+class TestComposition:
+    def test_component_mix(self, store):
+        final = growth_series(store)[-1]
+        for bucket, expected in enumerate((0.17, 0.575, 0.253)):
+            assert abs(final.component_share[bucket] - expected) < 0.01, bucket
+
+    def test_private_division_nonempty(self, store):
+        final = growth_series(store)[-1]
+        assert final.private > 1000
+        assert final.icann + final.private == final.total
+
+    def test_jp_spike(self, store):
+        spikes = [s for s in spike_versions(store, 500) if s[0].year == paper.JP_SPIKE_YEAR]
+        assert spikes, "no mid-2012 spike"
+        assert abs(spikes[0][1] - paper.JP_SPIKE_SIZE) <= 25
+
+
+class TestCalibratedPins:
+    def test_calibrated_suffixes_added_on_their_dates(self, store):
+        added = rule_addition_dates(store)
+        for record in full_schedule():
+            assert added.get(record.suffix) == record.addition_date, record.suffix
+
+    def test_repo_vendor_dates_are_version_dates(self, store):
+        version_dates = {version.date for version in store}
+        for age in all_ages():
+            date = paper.MEASUREMENT_DATE - datetime.timedelta(days=age)
+            if date <= paper.HISTORY_LAST_DATE:
+                assert date in version_dates, age
+
+    def test_wildcard_era_refined(self, store):
+        latest = {rule.text for rule in store.rules_at(-1)}
+        first = {rule.text for rule in store.rules_at(0)}
+        assert "*.uk" in first and "*.uk" not in latest
+        assert "*.ck" in first and "*.ck" in latest  # never refined
+
+    def test_determinism(self, store):
+        from repro.history.synthesis import SynthesisConfig, synthesize_history
+
+        other = synthesize_history(SynthesisConfig(seed=20230701))
+        assert [v.commit for v in other] == [v.commit for v in store]

@@ -1,0 +1,105 @@
+"""Tests for growth statistics and rule dating."""
+
+import datetime
+
+from repro.history.store import VersionStore
+from repro.history.timeline import (
+    growth_series,
+    rule_addition_dates,
+    rule_removal_dates,
+    spike_versions,
+)
+from repro.psl.rules import Rule, Section
+
+
+def _rules(*texts, section=Section.ICANN):
+    return [Rule.parse(text, section=section) for text in texts]
+
+
+def _store():
+    store = VersionStore()
+    store.commit_rules(datetime.date(2007, 1, 1), added=_rules("com", "co.uk", "a.b.c"))
+    store.commit_rules(
+        datetime.date(2010, 1, 1),
+        added=_rules("github.io", section=Section.PRIVATE),
+    )
+    store.commit_rules(datetime.date(2012, 1, 1), removed=_rules("a.b.c"))
+    store.commit_rules(datetime.date(2014, 1, 1), added=_rules("a.b.c"))
+    return store
+
+
+class TestGrowthSeries:
+    def test_totals(self):
+        series = growth_series(_store())
+        assert [point.total for point in series] == [3, 4, 3, 4]
+
+    def test_component_breakdown(self):
+        series = growth_series(_store())
+        assert series[0].by_components == (1, 1, 1, 0)
+        # v1 added github.io (2 components); v2 removed a.b.c.
+        assert series[2].by_components == (1, 2, 0, 0)
+
+    def test_sections_tracked(self):
+        series = growth_series(_store())
+        assert series[1].icann == 3
+        assert series[1].private == 1
+
+    def test_component_share_sums_to_one(self):
+        for point in growth_series(_store()):
+            assert abs(sum(point.component_share) - 1.0) < 1e-9
+
+    def test_share_of_empty_history(self):
+        store = VersionStore()
+        assert growth_series(store) == []
+
+    def test_four_plus_bucket(self):
+        store = VersionStore()
+        store.commit_rules(
+            datetime.date(2020, 1, 1), added=_rules("a.b.c.d", "a.b.c.d.e")
+        )
+        assert growth_series(store)[0].by_components == (0, 0, 0, 2)
+
+
+class TestRuleDating:
+    def test_addition_dates(self):
+        dates = rule_addition_dates(_store())
+        assert dates["com"] == datetime.date(2007, 1, 1)
+        assert dates["github.io"] == datetime.date(2010, 1, 1)
+
+    def test_readdition_keeps_first_date(self):
+        dates = rule_addition_dates(_store())
+        assert dates["a.b.c"] == datetime.date(2007, 1, 1)
+
+    def test_removal_dates_cleared_on_readd(self):
+        dates = rule_removal_dates(_store())
+        assert "a.b.c" not in dates
+
+    def test_removal_dates_present_when_still_removed(self):
+        store = _store()
+        store.commit_rules(datetime.date(2016, 1, 1), removed=_rules("co.uk"))
+        assert rule_removal_dates(store)["co.uk"] == datetime.date(2016, 1, 1)
+
+
+class TestSpikes:
+    def test_spike_detection(self):
+        store = VersionStore()
+        store.commit_rules(datetime.date(2007, 1, 1), added=_rules("com"))
+        store.commit_rules(
+            datetime.date(2012, 6, 20),
+            added=[Rule.parse(f"city{i}.jp") for i in range(250)],
+        )
+        spikes = spike_versions(store, threshold=200)
+        assert spikes == [(datetime.date(2012, 6, 20), 250)]
+
+    def test_net_spike_accounts_for_removals(self):
+        store = VersionStore()
+        store.commit_rules(
+            datetime.date(2007, 1, 1),
+            added=[Rule.parse(f"r{i}.example") for i in range(150)],
+        )
+        store.commit_rules(
+            datetime.date(2008, 1, 1),
+            added=[Rule.parse(f"s{i}.example") for i in range(220)],
+            removed=[Rule.parse(f"r{i}.example") for i in range(100)],
+        )
+        assert spike_versions(store, threshold=200) == []

@@ -1,0 +1,58 @@
+"""Tests for the offline root zone database."""
+
+from repro.data.tlds import TldCategory
+from repro.iana.rootzone import RootZoneDatabase
+from repro.psl.rules import Rule, Section
+
+
+class TestLookups:
+    def test_contains(self):
+        db = RootZoneDatabase()
+        assert "com" in db and "uk" in db
+        assert "notatld" not in db
+
+    def test_record(self):
+        db = RootZoneDatabase()
+        assert db.record("com").year == 1985
+        assert db.record("nope") is None
+
+    def test_category_of_tld(self):
+        db = RootZoneDatabase()
+        assert db.category_of_tld("de") is TldCategory.COUNTRY_CODE
+        assert db.category_of_tld("museum") is TldCategory.SPONSORED
+        assert db.category_of_tld("arpa") is TldCategory.INFRASTRUCTURE
+
+    def test_case_insensitive(self):
+        db = RootZoneDatabase()
+        assert db.category_of_tld("COM") is TldCategory.GENERIC
+
+    def test_xn_dash_dash_treated_as_cc(self):
+        db = RootZoneDatabase()
+        assert db.category_of_tld("xn--p1ai") is TldCategory.COUNTRY_CODE
+
+    def test_unknown_is_none(self):
+        assert RootZoneDatabase().category_of_tld("zzzz") is None
+
+
+class TestRuleCategorization:
+    def test_private_division_wins(self):
+        db = RootZoneDatabase()
+        rule = Rule.parse("github.io", section=Section.PRIVATE)
+        assert db.categorize_rule(rule) == "private"
+
+    def test_icann_rules_by_tld(self):
+        db = RootZoneDatabase()
+        assert db.categorize_rule(Rule.parse("co.uk")) == "country-code"
+        assert db.categorize_rule(Rule.parse("k12.va.us")) == "country-code"
+        assert db.categorize_rule(Rule.parse("com")) == "generic"
+
+    def test_unknown_tld_defaults_generic(self):
+        db = RootZoneDatabase()
+        assert db.categorize_rule(Rule.parse("somefiller")) == "generic"
+
+    def test_histogram(self, small_psl):
+        db = RootZoneDatabase()
+        histogram = db.category_histogram(small_psl.rules)
+        assert histogram["private"] == 3
+        assert histogram["country-code"] >= 4
+        assert sum(histogram.values()) == len(small_psl)

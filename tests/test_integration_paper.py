@@ -1,0 +1,126 @@
+"""End-to-end reproduction checks: the paper's numbers, measured.
+
+These tests run the entire pipeline — synthetic history, corpus,
+snapshot, classification, dating, version sweep, harm model — and
+assert the published values.  They are the machine-checked version of
+EXPERIMENTS.md.
+"""
+
+from repro.calibrate.suffixes import ANCHORS
+from repro.data import paper
+
+
+class TestHeadline:
+    def test_missing_etld_count(self, harm_result):
+        assert harm_result.missing_etld_count == paper.MISSING_ETLD_COUNT
+
+    def test_affected_hostnames(self, harm_result):
+        assert harm_result.affected_hostname_count == paper.AFFECTED_HOSTNAME_COUNT
+
+
+class TestTable2:
+    def test_every_row_exact(self, harm_result):
+        published = {row.etld: row for row in paper.TABLE2}
+        assert len(harm_result.table2) == 15
+        for measured in harm_result.table2:
+            expected = published[measured.etld]
+            assert measured.hostnames == expected.hostnames, measured.etld
+            assert measured.dependency == expected.dependency, measured.etld
+            assert measured.fixed_production == expected.fixed_production, measured.etld
+            assert measured.fixed_test_other == expected.fixed_test_other, measured.etld
+            assert measured.updated == expected.updated, measured.etld
+
+    def test_rows_ordered_by_hostnames(self, harm_result):
+        counts = [row.hostnames for row in harm_result.table2]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_row_is_myshopify(self, harm_result):
+        assert harm_result.table2[0].etld == "myshopify.com"
+
+
+class TestTable3:
+    def test_every_table3_repo_measured(self, harm_result):
+        measured_names = {row.name for row in harm_result.table3}
+        for row in paper.TABLE3:
+            assert row.name in measured_names
+
+    def test_anchor_rows_exact(self, harm_result):
+        """Rows on the paper's monotone missing-hostnames curve match.
+
+        The published column mixes repositories vendoring different
+        list *variants* and is not jointly satisfiable (see
+        EXPERIMENTS.md); the anchor subset is, and reproduces exactly.
+        """
+        anchors = dict(ANCHORS)
+        by_name = {row.name: row for row in harm_result.table3}
+        checked = 0
+        for row in paper.TABLE3:
+            expected = anchors.get(row.age_days)
+            if expected is None:
+                continue
+            assert by_name[row.name].missing_hostnames == expected, row.name
+            checked += 1
+        assert checked >= 20
+
+    def test_missing_hostnames_monotone_in_age(self, harm_result):
+        rows = sorted(harm_result.table3, key=lambda row: row.age_days)
+        for earlier, later in zip(rows, rows[1:]):
+            assert earlier.missing_hostnames <= later.missing_hostnames
+
+    def test_ages_match_paper(self, harm_result):
+        published = {row.name: row.age_days for row in paper.TABLE3}
+        for measured in harm_result.table3:
+            if measured.name in published:
+                expected = published[measured.name]
+                # Ages younger than the final list version saturate at 49.
+                if expected < 49:
+                    assert measured.age_days == 49
+                else:
+                    assert measured.age_days == expected, measured.name
+
+
+class TestSweepShapes:
+    def test_sites_grow_overall(self, sweep):
+        assert sweep.latest.site_count > sweep.first.site_count
+
+    def test_diff_vs_latest_reaches_zero(self, sweep):
+        assert sweep.latest.diff_vs_latest == 0
+
+    def test_diff_vs_latest_decreasing_overall(self, sweep):
+        # Not strictly monotone (the wildcard-era refinements regroup
+        # some hosts twice), but old versions sit near the maximum and
+        # the curve collapses to zero.
+        values = [point.diff_vs_latest for point in sweep.yearly()]
+        assert values[0] >= 0.98 * max(values)
+        assert values[-1] == 0
+        assert values[len(values) // 2] < values[0]
+
+    def test_third_party_early_drop_then_rise(self, sweep):
+        """Figure 6's shape: the wildcard-era refinements reduce
+        misclassified third parties, then private-suffix growth raises
+        the true count."""
+        by_year = {point.date.year: point.third_party_requests for point in sweep.yearly()}
+        assert by_year[2013] < by_year[2007]
+        assert by_year[2022] > by_year[2014]
+
+    def test_sites_flat_early_then_growing(self, sweep):
+        by_year = {point.date.year: point.site_count for point in sweep.yearly()}
+        early_change = abs(by_year[2012] - by_year[2007])
+        growth_phase = by_year[2016] - by_year[2013]
+        assert growth_phase > 3 * max(early_change, 1)
+
+    def test_point_lookup_by_date(self, sweep, store):
+        import datetime
+
+        point = sweep.at_date(datetime.date(2015, 6, 1))
+        assert point.date <= datetime.date(2015, 6, 1)
+
+
+class TestFigure3Medians:
+    def test_all_three_published_medians(self, world):
+        from repro.analysis.age import age_distributions
+
+        distributions = age_distributions(world)
+        assert distributions.median("fixed") == 825
+        assert distributions.median("updated") == 915
+        assert distributions.median() == 871

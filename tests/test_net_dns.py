@@ -1,0 +1,164 @@
+"""Tests for the miniature DNS."""
+
+import pytest
+
+from repro.net.dns import (
+    Answer,
+    Nameserver,
+    RecordType,
+    ResourceRecord,
+    StubResolver,
+    Zone,
+    ZoneError,
+)
+
+
+def _example_zone():
+    zone = Zone("example.com")
+    zone.add(ResourceRecord("example.com", RecordType.A, "192.0.2.1"))
+    zone.add(ResourceRecord("www.example.com", RecordType.CNAME, "example.com"))
+    zone.add(ResourceRecord("_dmarc.example.com", RecordType.TXT, "v=DMARC1; p=reject", ttl=30))
+    return zone
+
+
+def _nameserver():
+    other = Zone("example.net")
+    other.add(ResourceRecord("cdn.example.net", RecordType.A, "198.51.100.7"))
+    return Nameserver([_example_zone(), other])
+
+
+class TestZone:
+    def test_add_and_lookup(self):
+        zone = _example_zone()
+        assert zone.lookup("example.com", RecordType.A)[0].data == "192.0.2.1"
+
+    def test_lookup_missing(self):
+        assert _example_zone().lookup("nope.example.com", RecordType.A) == []
+
+    def test_name_normalization(self):
+        zone = _example_zone()
+        assert zone.lookup("EXAMPLE.COM.", RecordType.A)
+
+    def test_out_of_zone_rejected(self):
+        with pytest.raises(ZoneError):
+            _example_zone().add(ResourceRecord("other.net", RecordType.A, "192.0.2.9"))
+
+    def test_suffix_string_is_not_in_zone(self):
+        with pytest.raises(ZoneError):
+            _example_zone().add(ResourceRecord("evilexample.com", RecordType.A, "192.0.2.9"))
+
+    def test_cname_exclusivity(self):
+        zone = _example_zone()
+        with pytest.raises(ZoneError):
+            zone.add(ResourceRecord("www.example.com", RecordType.A, "192.0.2.2"))
+        with pytest.raises(ZoneError):
+            zone.add(ResourceRecord("example.com", RecordType.CNAME, "elsewhere.com"))
+
+    def test_multiple_records_same_name_type(self):
+        zone = Zone("x.org")
+        zone.add(ResourceRecord("x.org", RecordType.TXT, "one"))
+        zone.add(ResourceRecord("x.org", RecordType.TXT, "two"))
+        assert len(zone.lookup("x.org", RecordType.TXT)) == 2
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("x.org", RecordType.A, "192.0.2.1", ttl=-1)
+
+    def test_len_and_names(self):
+        zone = _example_zone()
+        assert len(zone) == 3
+        assert "www.example.com" in zone.names()
+
+
+class TestNameserver:
+    def test_routes_to_longest_zone(self):
+        ns = Nameserver()
+        parent = Zone("example.com")
+        parent.add(ResourceRecord("example.com", RecordType.A, "192.0.2.1"))
+        child = Zone("sub.example.com")
+        child.add(ResourceRecord("www.sub.example.com", RecordType.A, "192.0.2.2"))
+        ns.attach(parent)
+        ns.attach(child)
+        assert ns.zone_for("www.sub.example.com") is child
+        assert ns.zone_for("example.com") is parent
+
+    def test_unknown_name(self):
+        assert _nameserver().query("nowhere.test", RecordType.A) == []
+
+    def test_duplicate_zone_rejected(self):
+        ns = _nameserver()
+        with pytest.raises(ZoneError):
+            ns.attach(Zone("example.com"))
+
+
+class TestResolver:
+    def test_direct_answer(self):
+        resolver = StubResolver(_nameserver())
+        answer = resolver.resolve("example.com", RecordType.A)
+        assert answer.exists
+        assert answer.texts() == ["192.0.2.1"]
+
+    def test_cname_chased(self):
+        resolver = StubResolver(_nameserver())
+        answer = resolver.resolve("www.example.com", RecordType.A)
+        assert answer.exists
+        assert answer.cname_chain == ("example.com",)
+
+    def test_cname_query_not_chased(self):
+        resolver = StubResolver(_nameserver())
+        answer = resolver.resolve("www.example.com", RecordType.CNAME)
+        assert answer.texts() == ["example.com"]
+
+    def test_nxdomain(self):
+        resolver = StubResolver(_nameserver())
+        assert not resolver.resolve("missing.example.com", RecordType.A).exists
+
+    def test_positive_cache(self):
+        resolver = StubResolver(_nameserver())
+        resolver.resolve("example.com", RecordType.A)
+        queries = resolver.upstream_queries
+        answer = resolver.resolve("example.com", RecordType.A)
+        assert answer.from_cache
+        assert resolver.upstream_queries == queries
+
+    def test_cache_expires_with_clock(self):
+        resolver = StubResolver(_nameserver())
+        resolver.resolve("_dmarc.example.com", RecordType.TXT)  # ttl 30
+        resolver.advance_clock(31)
+        answer = resolver.resolve("_dmarc.example.com", RecordType.TXT)
+        assert not answer.from_cache
+
+    def test_negative_cache(self):
+        resolver = StubResolver(_nameserver())
+        resolver.resolve("missing.example.com", RecordType.A)
+        queries = resolver.upstream_queries
+        answer = resolver.resolve("missing.example.com", RecordType.A)
+        assert answer.from_cache and not answer.exists
+        assert resolver.upstream_queries == queries
+
+    def test_negative_cache_expires(self):
+        resolver = StubResolver(_nameserver())
+        resolver.resolve("missing.example.com", RecordType.A)
+        resolver.advance_clock(StubResolver.NEGATIVE_TTL + 1)
+        resolver.resolve("missing.example.com", RecordType.A)
+        assert resolver.upstream_queries >= 2
+
+    def test_cname_loop_terminates(self):
+        zone = Zone("loop.test")
+        zone.add(ResourceRecord("a.loop.test", RecordType.CNAME, "b.loop.test"))
+        zone.add(ResourceRecord("b.loop.test", RecordType.CNAME, "a.loop.test"))
+        resolver = StubResolver(Nameserver([zone]))
+        answer = resolver.resolve("a.loop.test", RecordType.A)
+        assert not answer.exists
+
+    def test_clock_only_forward(self):
+        resolver = StubResolver(_nameserver())
+        with pytest.raises(ValueError):
+            resolver.advance_clock(-1)
+
+
+class TestAnswer:
+    def test_exists_and_texts(self):
+        record = ResourceRecord("x.org", RecordType.TXT, "hello")
+        answer = Answer("x.org", RecordType.TXT, (record,))
+        assert answer.exists and answer.texts() == ["hello"]

@@ -1,0 +1,177 @@
+"""Tests for repro.net.hostname."""
+
+import pytest
+
+from repro.net.errors import HostnameError
+from repro.net.hostname import (
+    Hostname,
+    is_ip_literal,
+    join_labels,
+    normalize_hostname,
+    split_labels,
+    validate_label,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_hostname("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_whitespace(self):
+        assert normalize_hostname("  example.com  ") == "example.com"
+
+    def test_strips_single_trailing_dot(self):
+        assert normalize_hostname("example.com.") == "example.com"
+
+    def test_double_trailing_dot_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname("example.com..")
+
+    def test_empty_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname("")
+
+    def test_only_dot_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname(".")
+
+    def test_empty_interior_label_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname("a..b.com")
+
+    def test_leading_dot_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname(".example.com")
+
+    def test_overlong_hostname_rejected(self):
+        name = ".".join(["a" * 60] * 5)
+        with pytest.raises(HostnameError):
+            normalize_hostname(name)
+
+    def test_253_char_hostname_accepted(self):
+        label = "a" * 49
+        name = ".".join([label] * 5) + ".com"  # 49*5 + 4 + 4 = 253
+        assert len(name) == 253
+        assert normalize_hostname(name) == name
+
+    def test_ipv4_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname("192.168.0.1")
+
+    def test_ipv6_literal_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname("[::1]")
+
+    def test_unicode_passes_through(self):
+        assert normalize_hostname("Bücher.example") == "bücher.example"
+
+    def test_underscore_tolerated(self):
+        # Crawl data contains these (e.g. _dmarc records, sloppy CDNs).
+        assert normalize_hostname("_dmarc.example.com") == "_dmarc.example.com"
+
+    def test_space_inside_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_hostname("exam ple.com")
+
+
+class TestValidateLabel:
+    def test_simple_ok(self):
+        validate_label("example")
+
+    def test_hyphen_interior_ok(self):
+        validate_label("ex-ample")
+
+    def test_leading_hyphen_rejected(self):
+        with pytest.raises(HostnameError):
+            validate_label("-example")
+
+    def test_trailing_hyphen_rejected(self):
+        with pytest.raises(HostnameError):
+            validate_label("example-")
+
+    def test_63_char_label_ok(self):
+        validate_label("a" * 63)
+
+    def test_64_char_label_rejected(self):
+        with pytest.raises(HostnameError):
+            validate_label("a" * 64)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HostnameError):
+            validate_label("")
+
+    def test_single_char_ok(self):
+        validate_label("x")
+        validate_label("7")
+
+
+class TestIpLiteral:
+    @pytest.mark.parametrize("value", ["1.2.3.4", "255.255.255.255", "0.0.0.0"])
+    def test_ipv4(self, value):
+        assert is_ip_literal(value)
+
+    @pytest.mark.parametrize("value", ["256.1.1.1", "1.2.3", "a.b.c.d", "1.2.3.4.5"])
+    def test_not_ipv4(self, value):
+        assert not is_ip_literal(value)
+
+    def test_bracketed_ipv6(self):
+        assert is_ip_literal("[2001:db8::1]")
+
+
+class TestHostnameClass:
+    def test_labels(self):
+        assert Hostname("a.b.com").labels == ("a", "b", "com")
+
+    def test_reversed_labels(self):
+        assert Hostname("a.b.com").reversed_labels == ("com", "b", "a")
+
+    def test_label_count(self):
+        assert Hostname("a.b.com").label_count == 3
+        assert Hostname("com").label_count == 1
+
+    def test_equality_by_normalized_form(self):
+        assert Hostname("Example.COM") == Hostname("example.com.")
+
+    def test_hashable(self):
+        assert len({Hostname("a.com"), Hostname("A.com")}) == 1
+
+    def test_parent(self):
+        assert Hostname("a.b.com").parent() == Hostname("b.com")
+
+    def test_parent_of_tld_is_none(self):
+        assert Hostname("com").parent() is None
+
+    def test_ancestors(self):
+        names = [h.name for h in Hostname("a.b.co.uk").ancestors()]
+        assert names == ["b.co.uk", "co.uk", "uk"]
+
+    def test_is_subdomain_of(self):
+        assert Hostname("a.b.com").is_subdomain_of("b.com")
+        assert Hostname("a.b.com").is_subdomain_of(Hostname("com"))
+
+    def test_not_subdomain_of_self(self):
+        assert not Hostname("b.com").is_subdomain_of("b.com")
+
+    def test_not_subdomain_by_string_suffix(self):
+        # "evilb.com" ends with "b.com" as a string but is unrelated.
+        assert not Hostname("evilb.com").is_subdomain_of("b.com")
+
+    def test_suffix_of_length(self):
+        assert Hostname("a.b.co.uk").suffix_of_length(2).name == "co.uk"
+
+    def test_suffix_of_length_full(self):
+        assert Hostname("a.b.com").suffix_of_length(3).name == "a.b.com"
+
+    def test_suffix_of_length_out_of_range(self):
+        with pytest.raises(ValueError):
+            Hostname("a.com").suffix_of_length(3)
+        with pytest.raises(ValueError):
+            Hostname("a.com").suffix_of_length(0)
+
+    def test_str(self):
+        assert str(Hostname("Example.com")) == "example.com"
+
+
+class TestSplitJoin:
+    def test_roundtrip(self):
+        assert join_labels(split_labels("a.b.c")) == "a.b.c"

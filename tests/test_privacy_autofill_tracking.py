@@ -1,0 +1,97 @@
+"""Tests for autofill decisions and the tracking simulator."""
+
+from repro.privacy.autofill import (
+    AutofillEngine,
+    Credential,
+    cross_organization_offers,
+)
+from repro.privacy.tracking import TrackingSimulator
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule
+
+
+def _psl(*texts):
+    return PublicSuffixList(Rule.parse(text) for text in texts)
+
+
+CURRENT = _psl("com", "co.uk", "example.co.uk", "github.io", "io", "uk")
+OUTDATED = _psl("com", "co.uk", "io", "uk")  # missing example.co.uk, github.io
+
+
+class TestAutofill:
+    def test_exact_host_offered(self):
+        engine = AutofillEngine(CURRENT)
+        engine.save(Credential("good.example.co.uk", "alice"))
+        assert engine.offers_for("good.example.co.uk")
+
+    def test_same_site_offered(self):
+        engine = AutofillEngine(CURRENT)
+        engine.save(Credential("www.shop.com", "alice"))
+        assert engine.offers_for("login.shop.com")
+
+    def test_cross_site_withheld(self):
+        engine = AutofillEngine(CURRENT)
+        engine.save(Credential("good.example.co.uk", "alice"))
+        assert not engine.offers_for("bad.example.co.uk")
+
+    def test_outdated_list_leaks(self):
+        engine = AutofillEngine(OUTDATED)
+        engine.save(Credential("good.example.co.uk", "alice"))
+        assert engine.offers_for("bad.example.co.uk")
+
+    def test_decision_reasons(self):
+        engine = AutofillEngine(CURRENT)
+        engine.save(Credential("good.example.co.uk", "alice"))
+        (decision,) = engine.decisions_for("bad.example.co.uk")
+        assert not decision.offered
+        assert "different sites" in decision.reason
+
+    def test_figure1_predicate(self):
+        assert cross_organization_offers(
+            OUTDATED, CURRENT, "good.example.co.uk", "bad.example.co.uk"
+        )
+        assert not cross_organization_offers(
+            CURRENT, CURRENT, "good.example.co.uk", "bad.example.co.uk"
+        )
+        # Legitimately same-site hosts are not flagged.
+        assert not cross_organization_offers(
+            OUTDATED, CURRENT, "www.shop.com", "login.shop.com"
+        )
+
+
+class TestTracking:
+    def test_leaks_found(self):
+        simulator = TrackingSimulator(OUTDATED, CURRENT)
+        report = simulator.replay(
+            ["a.github.io", "b.github.io", "www.shop.com", "cdn.shop.com"]
+        )
+        assert len(report.leaks) == 1
+        leak = report.leaks[0]
+        assert {leak.first_host, leak.second_host} == {"a.github.io", "b.github.io"}
+        assert leak.shared_site_under_outdated == "github.io"
+
+    def test_no_leaks_when_lists_equal(self):
+        report = TrackingSimulator(CURRENT, CURRENT).replay(
+            ["a.github.io", "b.github.io"]
+        )
+        assert report.leaks == ()
+
+    def test_pairs_checked_counts_within_groups_only(self):
+        report = TrackingSimulator(OUTDATED, CURRENT).replay(
+            ["a.github.io", "b.github.io", "c.github.io", "unrelated.com"]
+        )
+        assert report.pairs_checked == 3  # C(3,2) within the github.io group
+
+    def test_leak_rate(self):
+        report = TrackingSimulator(OUTDATED, CURRENT).replay(
+            ["a.github.io", "b.github.io"]
+        )
+        assert report.leak_rate == 1.0
+        empty = TrackingSimulator(CURRENT, CURRENT).replay([])
+        assert empty.leak_rate == 0.0
+
+    def test_duplicate_hosts_deduped(self):
+        report = TrackingSimulator(OUTDATED, CURRENT).replay(
+            ["a.github.io", "a.github.io", "b.github.io"]
+        )
+        assert report.hosts_visited == 2

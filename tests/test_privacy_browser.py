@@ -1,0 +1,96 @@
+"""Tests for the miniature browser stack."""
+
+from repro.privacy.browser import Browser, replay_session
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule
+
+
+def _psl(*texts):
+    return PublicSuffixList(Rule.parse(text) for text in texts)
+
+
+CURRENT = _psl("com", "io", "pages.io")
+STALE = _psl("com", "io")  # missing pages.io
+
+
+class TestStoragePartitions:
+    def test_same_site_shares(self):
+        browser = Browser(CURRENT)
+        browser.set_item("www.shop.com", "cart", "3 items")
+        assert browser.get_item("api.shop.com", "cart") == "3 items"
+
+    def test_cross_site_isolated(self):
+        browser = Browser(CURRENT)
+        browser.set_item("a.pages.io", "uid", "alice")
+        assert browser.get_item("b.pages.io", "uid") is None
+
+    def test_stale_list_shares_across_tenants(self):
+        browser = Browser(STALE)
+        browser.set_item("a.pages.io", "uid", "alice")
+        assert browser.get_item("b.pages.io", "uid") == "alice"
+
+
+class TestNavigation:
+    def test_third_party_accounting(self):
+        browser = Browser(CURRENT)
+        visit = browser.navigate("www.shop.com", ("cdn.shop.com", "ads.tracker.com"))
+        assert visit.third_party_requests == 1
+
+    def test_history_logged(self):
+        browser = Browser(CURRENT)
+        browser.navigate("a.com")
+        browser.navigate("b.com")
+        assert [visit.page_host for visit in browser.history] == ["a.com", "b.com"]
+
+
+class TestLeakAudit:
+    def test_partitions_observed(self):
+        browser = Browser(STALE)
+        browser.navigate("a.pages.io")
+        browser.navigate("b.pages.io")
+        partitions = browser.partitions_observed()
+        assert partitions == {"pages.io": ("a.pages.io", "b.pages.io")}
+
+    def test_identifier_leaks_only_under_stale(self):
+        stale_browser = Browser(STALE)
+        stale_browser.navigate("a.pages.io")
+        stale_browser.navigate("b.pages.io")
+        assert stale_browser.identifier_leaks(CURRENT) == [
+            ("pages.io", "a.pages.io", "b.pages.io")
+        ]
+
+        current_browser = Browser(CURRENT)
+        current_browser.navigate("a.pages.io")
+        current_browser.navigate("b.pages.io")
+        assert current_browser.identifier_leaks(CURRENT) == []
+
+    def test_legitimate_sharing_not_flagged(self):
+        browser = Browser(STALE)
+        browser.navigate("www.shop.com")
+        browser.navigate("api.shop.com")
+        assert browser.identifier_leaks(CURRENT) == []
+
+
+class TestReplaySession:
+    VISITS = [
+        ("a.pages.io", ("b.pages.io",)),
+        ("b.pages.io", ()),
+        ("www.shop.com", ("cdn.shop.com",)),
+    ]
+
+    def test_stale_session_leaks(self):
+        comparison = replay_session(STALE, CURRENT, self.VISITS)
+        assert comparison.stale_leaks
+        assert comparison.current_leaks == ()
+
+    def test_supercookie_blocked_only_by_current(self):
+        comparison = replay_session(STALE, CURRENT, self.VISITS)
+        # On tenant pages the widest scope (pages.io) is a suffix only
+        # under the current list.
+        assert "a.pages.io" in comparison.supercookies_blocked_only_by_current
+        assert "www.shop.com" not in comparison.supercookies_blocked_only_by_current
+
+    def test_identical_lists_clean(self):
+        comparison = replay_session(CURRENT, CURRENT, self.VISITS)
+        assert comparison.stale_leaks == comparison.current_leaks == ()
+        assert comparison.supercookies_blocked_only_by_current == ()

@@ -1,0 +1,103 @@
+"""Tests for the PSL-aware cookie jar."""
+
+import pytest
+
+from repro.privacy.cookies import Cookie, CookieJar, SuperCookieError
+
+
+class TestHostOnly:
+    def test_set_and_read(self, small_psl):
+        jar = CookieJar(small_psl)
+        jar.set_cookie("www.example.com", "sid", "1")
+        assert [c.name for c in jar.cookies_for("www.example.com")] == ["sid"]
+
+    def test_not_sent_to_subdomain(self, small_psl):
+        jar = CookieJar(small_psl)
+        jar.set_cookie("example.com", "sid", "1")
+        assert jar.cookies_for("www.example.com") == []
+
+    def test_not_sent_to_parent(self, small_psl):
+        jar = CookieJar(small_psl)
+        jar.set_cookie("www.example.com", "sid", "1")
+        assert jar.cookies_for("example.com") == []
+
+
+class TestDomainCookies:
+    def test_parent_scope_readable_by_siblings(self, small_psl):
+        jar = CookieJar(small_psl)
+        jar.set_cookie("a.example.com", "sid", "1", domain="example.com")
+        assert jar.cookies_for("b.example.com")
+
+    def test_leading_dot_tolerated(self, small_psl):
+        jar = CookieJar(small_psl)
+        jar.set_cookie("a.example.com", "sid", "1", domain=".example.com")
+        assert jar.cookies_for("example.com")
+
+    def test_unrelated_domain_rejected(self, small_psl):
+        jar = CookieJar(small_psl)
+        with pytest.raises(ValueError):
+            jar.set_cookie("a.example.com", "sid", "1", domain="other.com")
+
+    def test_string_suffix_is_not_domain_match(self, small_psl):
+        jar = CookieJar(small_psl)
+        with pytest.raises(ValueError):
+            jar.set_cookie("evilexample.com", "sid", "1", domain="example.com")
+
+    def test_overwrite_same_key(self, small_psl):
+        jar = CookieJar(small_psl)
+        jar.set_cookie("a.com", "sid", "old")
+        jar.set_cookie("a.com", "sid", "new")
+        assert len(jar) == 1
+        assert jar.cookies_for("a.com")[0].value == "new"
+
+
+class TestSupercookies:
+    def test_public_suffix_domain_rejected(self, small_psl):
+        jar = CookieJar(small_psl)
+        with pytest.raises(SuperCookieError):
+            jar.set_cookie("amazon.co.uk", "sid", "1", domain="co.uk")
+
+    def test_private_suffix_domain_rejected(self, small_psl):
+        jar = CookieJar(small_psl)
+        with pytest.raises(SuperCookieError):
+            jar.set_cookie("alice.github.io", "sid", "1", domain="github.io")
+
+    def test_tld_domain_rejected(self, small_psl):
+        jar = CookieJar(small_psl)
+        with pytest.raises(SuperCookieError):
+            jar.set_cookie("example.com", "sid", "1", domain="com")
+
+    def test_request_from_suffix_itself_downgrades_to_host_only(self, small_psl):
+        jar = CookieJar(small_psl)
+        cookie = jar.set_cookie("github.io", "sid", "1", domain="github.io")
+        assert cookie.host_only
+        assert jar.cookies_for("alice.github.io") == []
+
+    def test_outdated_list_accepts_what_current_rejects(self, small_psl):
+        """The paper's core cookie harm, in one test."""
+        from repro.psl.list import PublicSuffixList
+
+        outdated = PublicSuffixList(
+            rule for rule in small_psl.rules if rule.name != "github.io"
+        )
+        stale_jar = CookieJar(outdated)
+        stale_jar.set_cookie("alice.github.io", "track", "me", domain="github.io")
+        # Under the outdated list, bob can read alice's cookie.
+        assert stale_jar.readable_by("alice.github.io", "bob.github.io")
+        with pytest.raises(SuperCookieError):
+            CookieJar(small_psl).set_cookie(
+                "alice.github.io", "track", "me", domain="github.io"
+            )
+
+
+class TestMatching:
+    def test_cookie_matches(self):
+        cookie = Cookie("n", "v", "example.com", host_only=False)
+        assert cookie.matches("example.com")
+        assert cookie.matches("a.example.com")
+        assert not cookie.matches("evilexample.com")
+
+    def test_host_only_matches_exact(self):
+        cookie = Cookie("n", "v", "example.com", host_only=True)
+        assert cookie.matches("example.com")
+        assert not cookie.matches("a.example.com")

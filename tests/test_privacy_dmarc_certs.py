@@ -1,0 +1,128 @@
+"""Tests for DMARC discovery and wildcard-certificate checks."""
+
+from repro.privacy.certs import (
+    check_issuance,
+    matches_certificate,
+    stale_list_overissuance,
+)
+from repro.privacy.dmarc import (
+    TxtZone,
+    discover_policy,
+    misdirected_queries,
+    organizational_domain,
+)
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule
+
+
+def _psl(*texts):
+    return PublicSuffixList(Rule.parse(text) for text in texts)
+
+
+CURRENT = _psl("com", "co.uk", "uk", "myshopify.com", "github.io", "io")
+OUTDATED = _psl("com", "co.uk", "uk", "io")
+
+
+class TestOrganizationalDomain:
+    def test_registrable(self):
+        assert organizational_domain(CURRENT, "mail.corp.example.co.uk") == "example.co.uk"
+
+    def test_suffix_is_its_own_org(self):
+        assert organizational_domain(CURRENT, "co.uk") == "co.uk"
+
+    def test_stale_list_wrong_org(self):
+        assert organizational_domain(OUTDATED, "a.shop.myshopify.com") == "myshopify.com"
+        assert organizational_domain(CURRENT, "a.shop.myshopify.com") == "shop.myshopify.com"
+
+
+class TestDiscovery:
+    def test_exact_record_wins(self):
+        zone = TxtZone()
+        zone.add("_dmarc.mail.example.com", "v=DMARC1; p=reject")
+        zone.add("_dmarc.example.com", "v=DMARC1; p=none")
+        result = discover_policy(CURRENT, zone, "mail.example.com")
+        assert result.record == "v=DMARC1; p=reject"
+        assert result.queried == ("_dmarc.mail.example.com",)
+
+    def test_fallback_to_org_domain(self):
+        zone = TxtZone()
+        zone.add("_dmarc.example.com", "v=DMARC1; p=quarantine")
+        result = discover_policy(CURRENT, zone, "mail.example.com")
+        assert result.found
+        assert result.queried[-1] == "_dmarc.example.com"
+
+    def test_no_record(self):
+        result = discover_policy(CURRENT, TxtZone(), "mail.example.com")
+        assert not result.found
+
+    def test_non_dmarc_txt_ignored(self):
+        zone = TxtZone()
+        zone.add("_dmarc.example.com", "google-site-verification=xyz")
+        assert not discover_policy(CURRENT, zone, "mail.example.com").found
+
+    def test_stale_list_queries_foreign_domain(self):
+        """The harm: under the stale list, shop.myshopify.com's policy
+        is looked up at myshopify.com — a different organization."""
+        zone = TxtZone()
+        zone.add("_dmarc.myshopify.com", "v=DMARC1; p=none")
+        result = discover_policy(OUTDATED, zone, "mail.shop.myshopify.com")
+        assert result.found  # the *wrong* policy applies
+        assert result.organizational_domain == "myshopify.com"
+        correct = discover_policy(CURRENT, zone, "mail.shop.myshopify.com")
+        assert not correct.found
+        assert correct.organizational_domain == "shop.myshopify.com"
+
+    def test_misdirected_queries(self):
+        senders = ["mail.shop.myshopify.com", "mail.example.com", "a.b.github.io"]
+        wrong = misdirected_queries(OUTDATED, CURRENT, senders)
+        assert ("mail.shop.myshopify.com", "myshopify.com", "shop.myshopify.com") in wrong
+        assert all(sender != "mail.example.com" for sender, _, _ in wrong)
+
+
+class TestIssuance:
+    def test_ordinary_wildcard_allowed(self):
+        assert check_issuance(CURRENT, "*.example.com").allowed
+
+    def test_wildcard_above_suffix_refused(self):
+        decision = check_issuance(CURRENT, "*.co.uk")
+        assert not decision.allowed
+        assert "public suffix" in decision.reason
+
+    def test_wildcard_above_private_suffix_refused(self):
+        assert not check_issuance(CURRENT, "*.myshopify.com").allowed
+
+    def test_double_wildcard_refused(self):
+        assert not check_issuance(CURRENT, "*.*.example.com").allowed
+
+    def test_interior_wildcard_refused(self):
+        assert not check_issuance(CURRENT, "www.*.example.com").allowed
+
+    def test_bare_suffix_refused(self):
+        assert not check_issuance(CURRENT, "co.uk").allowed
+
+    def test_plain_hostname_allowed(self):
+        assert check_issuance(CURRENT, "www.example.com").allowed
+
+    def test_stale_overissuance(self):
+        names = ["*.myshopify.com", "*.github.io", "*.example.com"]
+        over = stale_list_overissuance(OUTDATED, CURRENT, names)
+        assert set(over) == {"*.myshopify.com", "*.github.io"}
+
+
+class TestHostnameMatching:
+    def test_exact_match(self):
+        assert matches_certificate(CURRENT, "www.example.com", "www.example.com")
+
+    def test_wildcard_one_label(self):
+        assert matches_certificate(CURRENT, "*.example.com", "api.example.com")
+        assert not matches_certificate(CURRENT, "*.example.com", "a.b.example.com")
+
+    def test_wildcard_does_not_match_base(self):
+        assert not matches_certificate(CURRENT, "*.example.com", "example.com")
+
+    def test_wildcard_blocked_at_suffix_boundary(self):
+        assert not matches_certificate(CURRENT, "*.co.uk", "amazon.co.uk")
+
+    def test_stale_list_permits_cross_org_match(self):
+        assert matches_certificate(OUTDATED, "*.myshopify.com", "victim.myshopify.com")
+        assert not matches_certificate(CURRENT, "*.myshopify.com", "victim.myshopify.com")

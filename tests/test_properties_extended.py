@@ -1,0 +1,124 @@
+"""Property-based tests for the extension layers.
+
+Complements test_properties.py: the linter never crashes and accepts
+everything the serializer emits; the cookie jar never leaks across the
+boundaries its PSL defines; DBOUND zones migrated from a list agree
+with it except around exception descendants; the scanner never
+misidentifies structured non-PSL text.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dbound.compare import compare_boundaries
+from repro.dbound.records import BoundaryZone
+from repro.privacy.cookies import CookieJar, SuperCookieError
+from repro.psl.linter import lint_psl
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule, RuleKind
+from repro.psl.serialize import serialize_psl
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-")
+)
+
+
+@st.composite
+def rule_text(draw):
+    labels = draw(st.lists(label, min_size=1, max_size=3))
+    kind = draw(st.sampled_from(["normal", "normal", "wildcard"]))
+    name = ".".join(labels)
+    return f"*.{name}" if kind == "wildcard" else name
+
+
+rule_sets = st.lists(rule_text(), min_size=0, max_size=15).map(
+    lambda texts: [Rule.parse(t) for t in texts]
+)
+
+hostnames = st.lists(label, min_size=1, max_size=4).map(".".join)
+
+
+class TestLinterProperties:
+    @given(rule_sets)
+    def test_serializer_output_always_lints_clean_of_errors(self, rules):
+        # Warnings (e.g. wildcard shadowing) are possible; errors never.
+        report = lint_psl(serialize_psl(PublicSuffixList(rules)))
+        assert report.ok
+
+    @given(st.text(max_size=400))
+    def test_linter_never_crashes(self, text):
+        lint_psl(text)
+
+    @given(rule_sets)
+    def test_rule_count_matches(self, rules):
+        psl = PublicSuffixList(rules)
+        assert lint_psl(serialize_psl(psl)).rule_count == len(psl)
+
+
+class TestCookieProperties:
+    @given(rule_sets, hostnames, hostnames)
+    @settings(max_examples=60)
+    def test_no_cross_site_reads(self, rules, first, second):
+        """Whatever first sets, second can read it only if the PSL says
+        they are the same site."""
+        psl = PublicSuffixList(rules)
+        jar = CookieJar(psl)
+        try:
+            jar.set_cookie(first, "sid", "v", domain=psl.site_of(first))
+        except (SuperCookieError, ValueError):
+            return
+        if jar.cookies_for(second):
+            assert psl.same_site(first, second)
+
+    @given(rule_sets, hostnames)
+    def test_host_only_cookie_round_trip(self, rules, host):
+        jar = CookieJar(PublicSuffixList(rules))
+        jar.set_cookie(host, "sid", "v")
+        assert [c.name for c in jar.cookies_for(host)] == ["sid"]
+
+    @given(rule_sets, hostnames)
+    def test_supercookie_always_refused_from_subdomain(self, rules, host):
+        psl = PublicSuffixList(rules)
+        jar = CookieJar(psl)
+        suffix = psl.public_suffix(host)
+        if suffix == host:
+            return
+        try:
+            jar.set_cookie(host, "sid", "v", domain=suffix)
+            raised = False
+        except SuperCookieError:
+            raised = True
+        assert raised
+
+
+class TestDboundProperties:
+    @given(rule_sets, st.lists(hostnames, min_size=1, max_size=15))
+    @settings(max_examples=60)
+    def test_migrated_zone_agrees_without_exceptions(self, rules, hosts):
+        """Rule sets without exception rules migrate losslessly."""
+        if any(rule.kind is RuleKind.EXCEPTION for rule in rules):
+            return
+        psl = PublicSuffixList(rules)
+        agreement = compare_boundaries(psl, hosts)
+        assert agreement.agreement_rate == 1.0, agreement.disagreements
+
+    @given(rule_sets)
+    def test_zone_size_bounded_by_rules(self, rules):
+        zone = BoundaryZone.from_psl(PublicSuffixList(rules))
+        assert len(zone) <= len(set(rules))
+
+
+class TestScannerProperties:
+    @given(st.lists(st.text(alphabet=string.printable, max_size=60), max_size=50))
+    def test_scanner_never_crashes(self, lines):
+        from repro.psltool.scanner import looks_like_psl
+
+        looks_like_psl("\n".join(lines))
+
+    @given(st.integers(min_value=60, max_value=200))
+    def test_csv_not_mistaken_for_psl(self, rows):
+        from repro.psltool.scanner import looks_like_psl
+
+        csv = "\n".join(f"row{i},value{i},{i * 3}" for i in range(rows))
+        assert looks_like_psl(csv) == (False, 0)

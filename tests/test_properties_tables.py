@@ -1,0 +1,73 @@
+"""Property-based tests for the columnar query layer."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.webgraph.tables import Table
+
+cell = st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=5)
+rows = st.lists(st.tuples(cell, cell, st.integers(0, 9)), max_size=30)
+
+
+def _table(data):
+    return Table.from_rows(("a", "b", "n"), data)
+
+
+class TestTableLaws:
+    @given(rows)
+    def test_where_true_is_identity(self, data):
+        table = _table(data)
+        assert list(table.where(lambda row: True).rows()) == list(table.rows())
+
+    @given(rows)
+    def test_where_false_is_empty(self, data):
+        assert len(_table(data).where(lambda row: False)) == 0
+
+    @given(rows)
+    def test_select_preserves_length(self, data):
+        table = _table(data)
+        assert len(table.select("a")) == len(table)
+
+    @given(rows)
+    def test_group_count_sums_to_length(self, data):
+        table = _table(data)
+        counts = table.group_by("a").count()
+        assert sum(counts.column("count")) == len(table)
+
+    @given(rows)
+    def test_distinct_idempotent(self, data):
+        table = _table(data)
+        once = table.distinct()
+        twice = once.distinct()
+        assert list(once.rows()) == list(twice.rows())
+
+    @given(rows)
+    def test_order_by_is_permutation(self, data):
+        table = _table(data)
+        ordered = table.order_by("n")
+        assert sorted(table.rows()) == sorted(ordered.rows())
+        column = ordered.column("n")
+        assert list(column) == sorted(column)
+
+    @given(data=rows)
+    def test_csv_roundtrip_shape(self, tmp_path_factory, data):
+        table = _table(data)
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        table.to_csv(str(path))
+        loaded = Table.from_csv(str(path))
+        assert loaded.columns == table.columns
+        assert len(loaded) == len(table)
+
+    @given(rows, rows)
+    def test_join_count_matches_product_of_matches(self, left_data, right_data):
+        left = _table(left_data)
+        right = Table.from_rows(("a", "x"), [(a, n) for a, _, n in right_data])
+        joined = left.join(right, on="a")
+        expected = 0
+        right_counts: dict[str, int] = {}
+        for value in right.column("a"):
+            right_counts[value] = right_counts.get(value, 0) + 1
+        for value in left.column("a"):
+            expected += right_counts.get(value, 0)
+        assert len(joined) == expected

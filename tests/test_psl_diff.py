@@ -1,0 +1,146 @@
+"""Tests for repro.psl.diff."""
+
+import pytest
+
+from repro.psl.diff import RuleDelta, compose_all, diff_rules
+from repro.psl.list import PublicSuffixList
+from repro.psl.rules import Rule
+
+
+def _psl(*texts):
+    return PublicSuffixList(Rule.parse(text) for text in texts)
+
+
+def _delta(added=(), removed=()):
+    return RuleDelta(
+        added=frozenset(Rule.parse(t) for t in added),
+        removed=frozenset(Rule.parse(t) for t in removed),
+    )
+
+
+class TestDelta:
+    def test_empty_is_falsy(self):
+        assert not _delta()
+
+    def test_nonempty_is_truthy(self):
+        assert _delta(added=["com"])
+
+    def test_len(self):
+        assert len(_delta(added=["com"], removed=["net"])) == 2
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            _delta(added=["com"], removed=["com"])
+
+    def test_invert(self):
+        delta = _delta(added=["com"], removed=["net"])
+        inverse = delta.invert()
+        assert inverse.added == delta.removed
+        assert inverse.removed == delta.added
+
+    def test_apply(self):
+        psl = _psl("com", "net")
+        updated = _delta(added=["dev"], removed=["net"]).apply(psl)
+        assert "dev" in updated and "net" not in updated
+
+    def test_touched_names(self):
+        delta = _delta(added=["*.ck"], removed=["!www.ck"])
+        assert delta.touched_names() == {"*.ck", "www.ck"}
+
+
+class TestDiff:
+    def test_identical_lists_give_empty_delta(self):
+        assert not diff_rules(_psl("com"), _psl("com"))
+
+    def test_added_and_removed(self):
+        delta = diff_rules(_psl("com", "net"), _psl("com", "dev"))
+        assert {rule.text for rule in delta.added} == {"dev"}
+        assert {rule.text for rule in delta.removed} == {"net"}
+
+    def test_apply_diff_reaches_target(self):
+        old = _psl("com", "net", "co.uk")
+        new = _psl("com", "dev", "*.ck")
+        assert diff_rules(old, new).apply(old) == new
+
+    def test_invert_applies_back(self):
+        old = _psl("com", "net")
+        new = _psl("com", "dev")
+        delta = diff_rules(old, new)
+        assert delta.invert().apply(new) == old
+
+
+class TestPatchFormat:
+    def test_roundtrip(self):
+        delta = _delta(added=["dev", "*.ck"], removed=["net"])
+        assert RuleDelta.from_patch(delta.to_patch()) == delta
+
+    def test_sections_preserved(self):
+        from repro.psl.rules import Rule, Section
+
+        delta = RuleDelta(
+            added=frozenset([Rule.parse("foo.com", section=Section.PRIVATE)]),
+            removed=frozenset(),
+        )
+        restored = RuleDelta.from_patch(delta.to_patch())
+        assert next(iter(restored.added)).section is Section.PRIVATE
+
+    def test_canonical_output(self):
+        first = _delta(added=["b.com", "a.com"]).to_patch()
+        second = _delta(added=["a.com", "b.com"]).to_patch()
+        assert first == second
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            RuleDelta.from_patch("+icann:com\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            RuleDelta.from_patch("# psl-delta v1\n~icann:com\n")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            RuleDelta.from_patch("# psl-delta v1\n+weird:com\n")
+
+    def test_empty_patch(self):
+        restored = RuleDelta.from_patch("# psl-delta v1\n")
+        assert not restored
+
+    def test_store_deltas_roundtrip(self, store):
+        version = store.version(len(store) // 2)
+        assert RuleDelta.from_patch(version.delta.to_patch()) == version.delta
+
+
+class TestCompose:
+    def test_sequential_composition(self):
+        first = _delta(added=["a.com"])
+        second = _delta(added=["b.com"], removed=["a.com"])
+        combined = first.compose(second)
+        assert {rule.text for rule in combined.added} == {"b.com"}
+        # 'a.com' stays in the removed set: on a base that already had
+        # it, the sequence leaves it absent.
+        assert {rule.text for rule in combined.removed} == {"a.com"}
+
+    def test_add_then_remove_nets_to_remove(self):
+        combined = _delta(added=["x.com"]).compose(_delta(removed=["x.com"]))
+        assert not combined.added
+        assert {rule.text for rule in combined.removed} == {"x.com"}
+
+    def test_remove_then_add_nets_to_add(self):
+        combined = _delta(removed=["x.com"]).compose(_delta(added=["x.com"]))
+        assert not combined.removed
+        assert {rule.text for rule in combined.added} == {"x.com"}
+
+    def test_compose_equals_sequential_apply(self):
+        base = _psl("com", "net", "org")
+        deltas = [
+            _delta(added=["dev"]),
+            _delta(removed=["net"]),
+            _delta(added=["io"], removed=["dev"]),
+        ]
+        sequential = base
+        for delta in deltas:
+            sequential = delta.apply(sequential)
+        assert compose_all(deltas).apply(base) == sequential
+
+    def test_compose_all_empty(self):
+        assert not compose_all([])

@@ -1,0 +1,67 @@
+"""Tests for repro.psl.idna."""
+
+import pytest
+
+from repro.psl.errors import PunycodeError
+from repro.psl.idna import label_to_ascii, label_to_unicode, to_ascii, to_unicode
+
+
+class TestLabelToAscii:
+    def test_ascii_lowercased(self):
+        assert label_to_ascii("Example") == "example"
+
+    def test_nonascii_gets_ace_prefix(self):
+        assert label_to_ascii("bücher") == "xn--bcher-kva"
+
+    def test_nfc_normalization(self):
+        # 'ü' composed vs. 'u' + combining diaeresis must encode the same.
+        composed = "bücher"
+        decomposed = "bücher"
+        assert label_to_ascii(composed) == label_to_ascii(decomposed)
+
+    def test_overlong_alabel_rejected(self):
+        with pytest.raises(PunycodeError):
+            label_to_ascii("ü" * 60)
+
+
+class TestLabelToUnicode:
+    def test_ace_decoded(self):
+        assert label_to_unicode("xn--bcher-kva") == "bücher"
+
+    def test_case_insensitive_prefix(self):
+        assert label_to_unicode("XN--BCHER-KVA") == "bücher"
+
+    def test_plain_passthrough(self):
+        assert label_to_unicode("Example") == "example"
+
+
+class TestWholeNames:
+    def test_to_ascii_mixed(self):
+        assert to_ascii("日本語.example.com").startswith("xn--")
+        assert to_ascii("日本語.example.com").endswith(".example.com")
+
+    def test_to_unicode_roundtrip(self):
+        name = "müller.köln.example"
+        assert to_unicode(to_ascii(name)) == name
+
+    def test_wildcard_label_preserved(self):
+        assert to_ascii("*.ück") == "*.xn--ck-wka"
+        assert to_unicode("*.xn--ck-wka") == "*.ück"
+
+    def test_ascii_name_unchanged(self):
+        assert to_ascii("www.example.com") == "www.example.com"
+
+    def test_matches_stdlib_idna_for_simple_names(self):
+        for name in ("bücher.de", "münchen.example"):
+            stdlib = name.encode("idna").decode("ascii")
+            assert to_ascii(name) == stdlib
+
+    def test_to_ascii_idempotent(self):
+        for name in ("bücher.de", "www.example.com", "*.ück", "日本語.jp"):
+            once = to_ascii(name)
+            assert to_ascii(once) == once
+
+    def test_to_unicode_idempotent(self):
+        for name in ("xn--bcher-kva.de", "www.example.com"):
+            once = to_unicode(name)
+            assert to_unicode(once) == once

@@ -1,0 +1,88 @@
+"""Tests for the PSL linter."""
+
+from repro.psl.linter import Severity, lint_psl
+from repro.psl.serialize import serialize_psl
+
+
+class TestCleanLists:
+    def test_canonical_serialization_is_clean(self, small_psl):
+        report = lint_psl(serialize_psl(small_psl))
+        assert report.ok
+        assert report.rule_count == len(small_psl)
+
+    def test_empty_file_is_clean(self):
+        assert lint_psl("").ok
+
+    def test_comments_only_clean(self):
+        assert lint_psl("// just\n// comments\n").ok
+
+
+class TestStructuralErrors:
+    def test_unparseable_line(self):
+        report = lint_psl("com\n!!nope!!\n")
+        assert not report.ok
+        assert report.errors[0].line_number == 2
+
+    def test_duplicate_rule(self):
+        report = lint_psl("com\nnet\ncom\n")
+        assert not report.ok
+        assert "duplicate rule" in report.errors[0].message
+        assert "line 1" in report.errors[0].message
+
+    def test_rule_in_both_divisions(self):
+        text = (
+            "foo.com\n"
+            "// ===BEGIN PRIVATE DOMAINS===\nfoo.com\n// ===END PRIVATE DOMAINS===\n"
+        )
+        report = lint_psl(text)
+        assert any("both divisions" in f.message for f in report.errors)
+
+    def test_duplicate_section_marker(self):
+        text = (
+            "// ===BEGIN PRIVATE DOMAINS===\na.example\n"
+            "// ===END PRIVATE DOMAINS===\n"
+            "// ===BEGIN PRIVATE DOMAINS===\nb.example\n// ===END PRIVATE DOMAINS===\n"
+        )
+        report = lint_psl(text)
+        assert any("duplicate section marker" in f.message for f in report.errors)
+
+    def test_unbalanced_markers(self):
+        report = lint_psl("// ===BEGIN PRIVATE DOMAINS===\nfoo.example\n")
+        assert not report.ok
+        messages = " ".join(f.message for f in report.errors)
+        assert "unbalanced" in messages or "ends inside" in messages
+
+
+class TestSemanticChecks:
+    def test_exception_without_wildcard(self):
+        report = lint_psl("ck\n!www.ck\n")
+        assert any("no covering wildcard" in f.message for f in report.errors)
+
+    def test_exception_with_wildcard_is_fine(self):
+        assert lint_psl("*.ck\n!www.ck\n").ok
+
+    def test_shadowed_rule_warning(self):
+        report = lint_psl("*.ck\nfoo.ck\n")
+        assert report.ok  # warning only
+        assert any("shadowed" in f.message for f in report.warnings)
+
+    def test_out_of_order_warning(self):
+        report = lint_psl("net\ncom\n")
+        assert report.ok
+        assert any("out of order" in f.message for f in report.warnings)
+
+    def test_blank_line_resets_ordering_block(self):
+        # Separate blocks may restart the alphabet (as the real list does
+        # between registry sections).
+        assert not lint_psl("net\n\ncom\n").warnings
+
+
+class TestReportShape:
+    def test_findings_sorted_by_line(self):
+        report = lint_psl("!!x!!\ncom\ncom\n")
+        numbers = [f.line_number for f in report.findings]
+        assert numbers == sorted(numbers)
+
+    def test_str_rendering(self):
+        report = lint_psl("com\ncom\n")
+        assert "line 2" in str(report.errors[0])

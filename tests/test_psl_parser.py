@@ -1,0 +1,94 @@
+"""Tests for repro.psl.parser."""
+
+import pytest
+
+from repro.psl.errors import PslParseError
+from repro.psl.parser import iter_rules, parse_psl, parse_psl_file
+from repro.psl.rules import RuleKind, Section
+
+
+class TestSections:
+    def test_default_section_is_icann(self):
+        psl = parse_psl("com\n")
+        assert psl.rules[0].section is Section.ICANN
+
+    def test_private_markers(self):
+        psl = parse_psl(
+            "com\n// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n// ===END PRIVATE DOMAINS===\n"
+        )
+        sections = {rule.name: rule.section for rule in psl.rules}
+        assert sections["com"] is Section.ICANN
+        assert sections["github.io"] is Section.PRIVATE
+
+    def test_icann_markers_are_accepted(self):
+        psl = parse_psl(
+            "// ===BEGIN ICANN DOMAINS===\ncom\n// ===END ICANN DOMAINS===\n"
+        )
+        assert len(psl) == 1
+
+    def test_rules_after_private_end_revert_to_icann(self):
+        psl = parse_psl(
+            "// ===BEGIN PRIVATE DOMAINS===\ngithub.io\n"
+            "// ===END PRIVATE DOMAINS===\nnet\n"
+        )
+        sections = {rule.name: rule.section for rule in psl.rules}
+        assert sections["net"] is Section.ICANN
+
+
+class TestTolerance:
+    def test_comments_skipped(self):
+        psl = parse_psl("// a comment\ncom\n// another\nnet\n")
+        assert len(psl) == 2
+
+    def test_blank_lines_skipped(self):
+        assert len(parse_psl("\n\ncom\n\n\nnet\n\n")) == 2
+
+    def test_whitespace_around_rules(self):
+        assert len(parse_psl("  com  \n")) == 1
+
+    def test_empty_input_gives_empty_list(self):
+        assert len(parse_psl("")) == 0
+
+    def test_crlf_handled(self):
+        assert len(parse_psl("com\r\nnet\r\n")) == 2
+
+
+class TestStrictness:
+    def test_malformed_raises_with_line_number(self):
+        with pytest.raises(PslParseError) as info:
+            parse_psl("com\nbad rule here\n")
+        assert "line 2" in str(info.value)
+
+    def test_lenient_mode_skips_malformed(self):
+        psl = parse_psl("com\nbad rule here\nnet\n", strict=False)
+        assert len(psl) == 2
+
+    def test_iter_rules_yields_in_order(self):
+        rules = list(iter_rules("com\nnet\n*.ck\n"))
+        assert [rule.text for rule in rules] == ["com", "net", "*.ck"]
+        assert rules[2].kind is RuleKind.WILDCARD
+
+
+class TestFileParsing:
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "list.dat"
+        path.write_text("com\nco.uk\n", encoding="utf-8")
+        psl = parse_psl_file(str(path))
+        assert psl.registrable_domain("a.b.co.uk") == "b.co.uk"
+
+    def test_parse_file_utf8(self, tmp_path):
+        path = tmp_path / "list.dat"
+        path.write_text("点看\n", encoding="utf-8")
+        psl = parse_psl_file(str(path))
+        assert psl.rules[0].name.startswith("xn--")
+
+
+class TestDuplicates:
+    def test_duplicate_rules_collapse(self):
+        assert len(parse_psl("com\ncom\ncom\n")) == 1
+
+    def test_same_rule_in_both_sections_kept(self):
+        psl = parse_psl(
+            "foo.com\n// ===BEGIN PRIVATE DOMAINS===\nfoo.com\n// ===END PRIVATE DOMAINS===\n"
+        )
+        assert len(psl) == 2  # differs by section

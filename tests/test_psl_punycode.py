@@ -1,0 +1,81 @@
+"""Tests for the from-scratch RFC 3492 punycode codec.
+
+Cross-checked against Python's built-in ``punycode`` codec and the
+RFC's own worked examples.
+"""
+
+import pytest
+
+from repro.psl.errors import PunycodeError
+from repro.psl.punycode import decode, encode
+
+# Sample strings from RFC 3492 section 7.1 (A-O plus the pure-ASCII case).
+RFC_SAMPLES = [
+    ("ليهمابتكلموشعربي؟", "egbpdaj6bu4bxfgehfvwxn"),
+    ("他们为什么不说中文", "ihqwcrb4cv8a8dqg056pqjye"),
+    ("他們爲什麽不說中文", "ihqwctvzc91f659drss3x8bo0yb"),
+    ("Pročprostěnemluvíčesky", "Proprostnemluvesky-uyb24dma41a"),
+    ("למההםפשוטלאמדבריםעברית", "4dbcagdahymbxekheh6e0a7fei0b"),
+    ("ひとつなぜみんな日本語を話してくれないのか", "n8jok5ay1cqmtbd3c1b4nrhodp5186vscfq89r70a"),
+    ("へんなのじゃないですか", "n8jo1bf3epb4a2g7esh"),
+    ("bücher", "bcher-kva"),
+]
+
+
+class TestEncode:
+    @pytest.mark.parametrize("unicode_text,expected", RFC_SAMPLES)
+    def test_rfc_samples(self, unicode_text, expected):
+        # RFC samples with uppercase are case-preserving in the basic
+        # code points; compare case-insensitively on the digits part.
+        assert encode(unicode_text).lower() == expected.lower()
+
+    def test_matches_stdlib(self):
+        for text in ("bücher", "münchen", "日本語", "пример", "ǧoogle"):
+            assert encode(text) == text.encode("punycode").decode("ascii")
+
+    def test_pure_ascii(self):
+        assert encode("plain") == "plain-"
+
+    def test_empty(self):
+        assert encode("") == ""
+
+    def test_single_nonascii(self):
+        assert encode("ü") == "tda"
+
+
+class TestDecode:
+    @pytest.mark.parametrize("unicode_text,expected", RFC_SAMPLES)
+    def test_rfc_samples(self, unicode_text, expected):
+        assert decode(expected).lower() == unicode_text.lower()
+
+    def test_matches_stdlib(self):
+        for encoded in ("bcher-kva", "nxasmq6b", "80akhbyknj4f"):
+            assert decode(encoded) == encoded.encode("ascii").decode("punycode")
+
+    def test_pure_ascii_with_delimiter(self):
+        assert decode("plain-") == "plain"
+
+    def test_invalid_digit_raises(self):
+        with pytest.raises(PunycodeError):
+            decode("abc-!!!")
+
+    def test_truncated_raises(self):
+        with pytest.raises(PunycodeError):
+            decode("bcher-k")
+
+    def test_nonbasic_before_delimiter_raises(self):
+        with pytest.raises(PunycodeError):
+            decode("bü-abc")
+
+    def test_overflowing_codepoint_raises(self):
+        with pytest.raises(PunycodeError):
+            decode("999999999")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        ["bücher", "münchen", "ドメイン", "пример", "مثال", "例え", "ü", "a" * 30 + "é"],
+    )
+    def test_roundtrip(self, text):
+        assert decode(encode(text)) == text

@@ -1,0 +1,91 @@
+"""Tests for repro.psl.rules."""
+
+import pytest
+
+from repro.psl.errors import PslParseError
+from repro.psl.rules import Rule, RuleKind, Section
+
+
+class TestParse:
+    def test_normal(self):
+        rule = Rule.parse("co.uk")
+        assert rule.kind is RuleKind.NORMAL
+        assert rule.labels == ("uk", "co")
+        assert rule.section is Section.ICANN
+
+    def test_wildcard(self):
+        rule = Rule.parse("*.ck")
+        assert rule.kind is RuleKind.WILDCARD
+        assert rule.labels == ("ck", "*")
+
+    def test_exception(self):
+        rule = Rule.parse("!www.ck")
+        assert rule.kind is RuleKind.EXCEPTION
+        assert rule.labels == ("ck", "www")
+
+    def test_section_carried(self):
+        rule = Rule.parse("github.io", section=Section.PRIVATE)
+        assert rule.section is Section.PRIVATE
+
+    def test_lowercased(self):
+        assert Rule.parse("CO.UK").name == "co.uk"
+
+    def test_unicode_converted_to_alabels(self):
+        rule = Rule.parse("点看.example")
+        assert rule.name.startswith("xn--")
+
+    def test_surrounding_whitespace_stripped(self):
+        assert Rule.parse("  com  ").name == "com"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "!", ".com", "com.", "a b.com", "a..b", "!*.ck", "a.*.b", "*.a.*"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PslParseError):
+            Rule.parse(bad)
+
+    def test_interior_wildcard_rejected(self):
+        with pytest.raises(PslParseError):
+            Rule.parse("a.*.ck")
+
+
+class TestProperties:
+    def test_name_roundtrip(self):
+        for text in ("com", "co.uk", "*.ck", "a.b.c.d"):
+            assert Rule.parse(text).name == text.lstrip("!").replace("*.", "*.", 1)
+
+    def test_text_includes_exception_marker(self):
+        assert Rule.parse("!www.ck").text == "!www.ck"
+
+    def test_text_roundtrip(self):
+        for text in ("com", "co.uk", "*.ck", "!www.ck"):
+            rule = Rule.parse(text)
+            assert Rule.parse(rule.text).labels == rule.labels
+            assert Rule.parse(rule.text).kind == rule.kind
+
+    def test_component_count(self):
+        assert Rule.parse("com").component_count == 1
+        assert Rule.parse("co.uk").component_count == 2
+        assert Rule.parse("*.ck").component_count == 2
+        assert Rule.parse("s3.dualstack.us-east-1.amazonaws.com").component_count == 5
+
+    def test_str(self):
+        assert str(Rule.parse("!www.ck")) == "!www.ck"
+
+    def test_equality_and_hash(self):
+        assert Rule.parse("com") == Rule.parse("COM")
+        assert Rule.parse("com") != Rule.parse("com", section=Section.PRIVATE)
+        assert len({Rule.parse("com"), Rule.parse("com")}) == 1
+
+    def test_constructor_validates_wildcard_position(self):
+        with pytest.raises(PslParseError):
+            Rule(labels=("ck", "*", "x"), kind=RuleKind.WILDCARD, section=Section.ICANN)
+
+    def test_constructor_rejects_stray_star(self):
+        with pytest.raises(PslParseError):
+            Rule(labels=("ck", "*"), kind=RuleKind.NORMAL, section=Section.ICANN)
+
+    def test_constructor_rejects_empty(self):
+        with pytest.raises(PslParseError):
+            Rule(labels=(), kind=RuleKind.NORMAL, section=Section.ICANN)

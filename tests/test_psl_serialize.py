@@ -1,0 +1,64 @@
+"""Tests for repro.psl.serialize."""
+
+from repro.psl.list import PublicSuffixList
+from repro.psl.parser import parse_psl
+from repro.psl.rules import Rule, Section
+from repro.psl.serialize import serialize_psl, serialize_rules, write_psl_file
+
+
+class TestRoundtrip:
+    def test_roundtrip_equality(self, small_psl):
+        assert parse_psl(serialize_psl(small_psl)) == small_psl
+
+    def test_sections_preserved(self, small_psl):
+        reparsed = parse_psl(serialize_psl(small_psl))
+        assert len(reparsed.rules_in_section(Section.PRIVATE)) == len(
+            small_psl.rules_in_section(Section.PRIVATE)
+        )
+
+    def test_exception_and_wildcard_preserved(self, small_psl):
+        text = serialize_psl(small_psl)
+        assert "*.ck" in text
+        assert "!www.ck" in text
+
+
+class TestDeterminism:
+    def test_output_is_stable(self, small_psl):
+        assert serialize_psl(small_psl) == serialize_psl(small_psl)
+
+    def test_order_independent(self):
+        rules = [Rule.parse(t) for t in ("net", "com", "co.uk")]
+        first = serialize_psl(PublicSuffixList(rules))
+        second = serialize_psl(PublicSuffixList(reversed(rules)))
+        assert first == second
+
+    def test_rules_sorted_within_section(self):
+        text = serialize_psl(PublicSuffixList([Rule.parse("net"), Rule.parse("com")]))
+        lines = [line for line in text.splitlines() if line and not line.startswith("//")]
+        assert lines == sorted(lines)
+
+
+class TestHeader:
+    def test_header_optional(self, small_psl):
+        assert serialize_psl(small_psl, header=False).startswith("// ===BEGIN ICANN")
+
+    def test_header_present_by_default(self, small_psl):
+        assert "generated" in serialize_psl(small_psl)
+
+
+class TestSerializeRules:
+    def test_matches_psl_serialization(self, small_psl):
+        assert serialize_rules(small_psl.rules) == serialize_psl(small_psl)
+
+    def test_empty_rule_set(self):
+        text = serialize_rules([])
+        assert parse_psl(text).rules == ()
+
+
+class TestFileWriter:
+    def test_write_and_reparse(self, tmp_path, small_psl):
+        path = tmp_path / "out.dat"
+        write_psl_file(small_psl, str(path))
+        from repro.psl.parser import parse_psl_file
+
+        assert parse_psl_file(str(path)) == small_psl

@@ -1,0 +1,98 @@
+"""Tests for the suffix trie and its naive oracle."""
+
+from repro.psl.rules import Rule
+from repro.psl.trie import SuffixTrie, naive_prevailing
+
+
+def _rules(*texts):
+    return [Rule.parse(text) for text in texts]
+
+
+def _rev(host):
+    return tuple(reversed(host.split(".")))
+
+
+class TestInsertRemove:
+    def test_len_counts_rules(self):
+        trie = SuffixTrie(_rules("com", "co.uk", "*.ck"))
+        assert len(trie) == 3
+
+    def test_reinsert_is_noop(self):
+        trie = SuffixTrie()
+        rule = Rule.parse("com")
+        trie.insert(rule)
+        trie.insert(rule)
+        assert len(trie) == 1
+
+    def test_remove_present(self):
+        trie = SuffixTrie(_rules("com", "net"))
+        assert trie.remove(Rule.parse("net"))
+        assert len(trie) == 1
+        assert trie.prevailing(_rev("a.net")) is None
+
+    def test_remove_absent_returns_false(self):
+        trie = SuffixTrie(_rules("com"))
+        assert not trie.remove(Rule.parse("net"))
+
+    def test_remove_exception_independent_of_normal(self):
+        trie = SuffixTrie(_rules("www.ck", "!www.ck"))
+        assert trie.remove(Rule.parse("!www.ck"))
+        assert trie.prevailing(_rev("www.ck")).text == "www.ck"
+
+    def test_iter_rules_roundtrip(self):
+        rules = set(_rules("com", "co.uk", "*.ck", "!www.ck", "github.io"))
+        trie = SuffixTrie(rules)
+        assert set(trie.iter_rules()) == rules
+
+
+class TestPrevailing:
+    def test_longest_match_wins(self):
+        trie = SuffixTrie(_rules("uk", "co.uk"))
+        assert trie.prevailing(_rev("a.co.uk")).text == "co.uk"
+
+    def test_exception_beats_everything(self):
+        trie = SuffixTrie(_rules("*.ck", "!www.ck"))
+        assert trie.prevailing(_rev("x.www.ck")).text == "!www.ck"
+
+    def test_wildcard_matches_one_label(self):
+        trie = SuffixTrie(_rules("*.ck"))
+        assert trie.prevailing(_rev("foo.bar.ck")).text == "*.ck"
+
+    def test_wildcard_requires_the_extra_label(self):
+        trie = SuffixTrie(_rules("*.ck"))
+        assert trie.prevailing(_rev("ck")) is None
+
+    def test_no_match_returns_none(self):
+        trie = SuffixTrie(_rules("com"))
+        assert trie.prevailing(_rev("example.org")) is None
+
+    def test_hostname_equal_to_rule(self):
+        trie = SuffixTrie(_rules("co.uk"))
+        assert trie.prevailing(_rev("co.uk")).text == "co.uk"
+
+    def test_wildcard_vs_longer_normal(self):
+        # A 3-label normal rule beats the 2-label wildcard match.
+        trie = SuffixTrie(_rules("*.ck", "deep.www.ck"))
+        assert trie.prevailing(_rev("a.deep.www.ck")).text == "deep.www.ck"
+
+    def test_matches_lists_all(self):
+        trie = SuffixTrie(_rules("uk", "co.uk", "*.uk"))
+        found = {rule.text for rule in trie.matches(_rev("a.co.uk"))}
+        assert found == {"uk", "co.uk", "*.uk"}
+
+
+class TestNaiveOracle:
+    def test_agrees_on_fixture(self, small_psl):
+        rules = list(small_psl.rules)
+        trie = SuffixTrie(rules)
+        hosts = [
+            "a.com", "com", "b.co.uk", "co.uk", "uk", "x.y.ck", "www.ck",
+            "a.www.ck", "alice.github.io", "github.io", "b.blogspot.com",
+            "a.kyoto.jp", "jp", "unknown.zz", "deep.a.b.c.com",
+            "x.s3.dualstack.us-east-1.amazonaws.com",
+        ]
+        for host in hosts:
+            reversed_labels = _rev(host)
+            assert trie.prevailing(reversed_labels) == naive_prevailing(
+                rules, reversed_labels
+            ), host

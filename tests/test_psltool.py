@@ -1,0 +1,136 @@
+"""Tests for the psl-doctor scanner and diagnosis."""
+
+import datetime
+
+from repro.data import paper
+from repro.psl.serialize import serialize_rules
+from repro.psltool.doctor import diagnose
+from repro.psltool.scanner import (
+    FoundList,
+    looks_like_psl,
+    scan_repository_files,
+    scan_tree,
+)
+
+
+def _old_text(store, age_days=1100):
+    version = store.version_at_date(
+        paper.MEASUREMENT_DATE - datetime.timedelta(days=age_days)
+    )
+    return serialize_rules(store.rules_at(version.index))
+
+
+class TestContentFingerprint:
+    def test_official_markers_detected(self, small_psl):
+        from repro.psl.serialize import serialize_psl
+
+        is_psl, count = looks_like_psl(serialize_psl(small_psl))
+        assert is_psl and count == len(small_psl)
+
+    def test_markerless_rule_file_detected(self, store):
+        text = "\n".join(rule.text for rule in store.rules_at(0))
+        is_psl, count = looks_like_psl(text)
+        assert is_psl and count > 2000
+
+    def test_prose_not_detected(self):
+        text = "\n".join(f"this is line number {i} of some prose" for i in range(200))
+        assert looks_like_psl(text) == (False, 0)
+
+    def test_short_file_not_detected(self):
+        assert looks_like_psl("com\nnet\norg\n") == (False, 0)
+
+    def test_single_word_list_not_detected(self):
+        # A dictionary word list parses as single-component rules but
+        # lacks the multi-component shape of a PSL.
+        words = "\n".join(f"word{i}" for i in range(200))
+        assert looks_like_psl(words) == (False, 0)
+
+
+class TestScanTree:
+    def test_finds_by_filename_and_content(self, tmp_path, store):
+        text = _old_text(store)
+        (tmp_path / "vendor").mkdir()
+        (tmp_path / "vendor" / "public_suffix_list.dat").write_text(text)
+        (tmp_path / "renamed_rules.dat").write_text(text)
+        (tmp_path / "notes.txt").write_text("nothing here")
+        found = scan_tree(str(tmp_path))
+        detections = {item.detection for item in found}
+        assert len(found) == 2
+        assert detections == {"filename", "content"}
+
+    def test_content_detection_can_be_disabled(self, tmp_path, store):
+        (tmp_path / "renamed_rules.dat").write_text(_old_text(store))
+        assert scan_tree(str(tmp_path), content_detection=False) == []
+
+    def test_binary_files_skipped(self, tmp_path):
+        (tmp_path / "blob.dat").write_bytes(b"\xff\xfe" + b"\x00" * 100)
+        assert scan_tree(str(tmp_path)) == []
+
+    def test_empty_tree(self, tmp_path):
+        assert scan_tree(str(tmp_path)) == []
+
+
+class TestScanRepositoryFiles:
+    def test_finds_vendored_lists_in_corpus(self, corpus):
+        repo = corpus[0]
+        found = scan_repository_files(repo.files)
+        assert any(item.detection == "filename" for item in found)
+
+
+class TestDiagnose:
+    def test_old_list_high_risk(self, store, world):
+        found = FoundList("x.dat", _old_text(store, 1500), "filename", 9000)
+        report = diagnose(store, found, dater=world.dater)
+        assert report.dating.is_exact
+        assert report.age_days is not None and report.age_days >= 1500
+        assert report.risk in ("high", "critical")
+        assert report.missing_rules > 100
+
+    def test_current_list_low_risk(self, store, world):
+        found = FoundList("x.dat", serialize_rules(store.rules_at(-1)), "filename", 9368)
+        report = diagnose(store, found, dater=world.dater)
+        assert report.age_days == 49  # t minus the final version date
+        assert report.missing_rules == 0
+        assert report.risk == "low"
+
+    def test_notable_examples_lead(self, store, world):
+        found = FoundList("x.dat", _old_text(store, 1500), "filename", 9000)
+        report = diagnose(store, found, dater=world.dater)
+        assert "myshopify.com" in report.stale_examples
+
+    def test_unknown_list_age_none(self, store, world):
+        found = FoundList("x.dat", "alpha.example\nbeta.example\n", "content", 2)
+        report = diagnose(store, found, dater=world.dater)
+        assert report.age_days is None
+        assert report.dating is None
+
+    def test_summary_readable(self, store, world):
+        found = FoundList("vendor/list.dat", _old_text(store), "filename", 9000)
+        report = diagnose(store, found, dater=world.dater)
+        assert "vendor/list.dat" in report.summary
+        assert "risk" in report.summary.lower()
+
+
+class TestCliSmoke:
+    def test_check_command(self, tmp_path, store, capsys):
+        from repro.psltool.cli import main
+
+        path = tmp_path / "public_suffix_list.dat"
+        path.write_text(_old_text(store, 900))
+        assert main(["check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "days old" in out
+
+    def test_diff_command(self, tmp_path, store, capsys):
+        from repro.psltool.cli import main
+
+        path = tmp_path / "public_suffix_list.dat"
+        path.write_text(_old_text(store, 900))
+        assert main(["diff", str(path)]) == 0
+        assert "missing" in capsys.readouterr().out
+
+    def test_scan_command_empty(self, tmp_path, capsys):
+        from repro.psltool.cli import main
+
+        assert main(["scan", str(tmp_path)]) == 0
+        assert "no embedded" in capsys.readouterr().out

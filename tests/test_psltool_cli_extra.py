@@ -1,0 +1,96 @@
+"""Extra CLI coverage for psl-doctor: json, lint, --latest."""
+
+import json
+
+from repro.psl.serialize import serialize_rules
+from repro.psltool.cli import main
+
+
+def _write_list(tmp_path, store, index, name="public_suffix_list.dat"):
+    path = tmp_path / name
+    path.write_text(serialize_rules(store.rules_at(index)))
+    return path
+
+
+class TestJsonOutput:
+    def test_check_json(self, tmp_path, store, capsys):
+        path = _write_list(tmp_path, store, 900)
+        assert main(["check", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dated"] is True
+        assert payload["dating_method"] == "exact"
+        assert payload["risk"] in ("low", "moderate", "high", "critical")
+        assert isinstance(payload["missing_rules"], int)
+
+    def test_scan_json_lines(self, tmp_path, store, capsys):
+        _write_list(tmp_path, store, 500)
+        assert main(["scan", str(tmp_path), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["path"].endswith("public_suffix_list.dat")
+
+
+class TestLintCommand:
+    def test_clean_file_exit_zero(self, tmp_path, store, capsys):
+        path = _write_list(tmp_path, store, 100)
+        assert main(["lint", str(path)]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_broken_file_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.dat"
+        path.write_text("com\ncom\n!!bad!!\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "duplicate rule" in out
+
+
+class TestFailOnGate:
+    def test_old_list_trips_high_gate(self, tmp_path, store):
+        path = _write_list(tmp_path, store, 200)  # a 2008-era list
+        assert main(["check", str(path), "--fail-on", "high"]) == 2
+
+    def test_fresh_list_passes_high_gate(self, tmp_path, store):
+        path = _write_list(tmp_path, store, len(store) - 1)
+        assert main(["check", str(path), "--fail-on", "high"]) == 0
+
+    def test_no_gate_always_exits_zero(self, tmp_path, store):
+        path = _write_list(tmp_path, store, 200)
+        assert main(["check", str(path)]) == 0
+
+    def test_scan_gate_covers_every_find(self, tmp_path, store):
+        _write_list(tmp_path, store, len(store) - 1, name="fresh.dat")
+        sub = tmp_path / "vendor"
+        sub.mkdir()
+        from repro.psl.serialize import serialize_rules
+
+        (sub / "public_suffix_list.dat").write_text(
+            serialize_rules(store.rules_at(200))
+        )
+        assert main(["scan", str(tmp_path), "--fail-on", "high"]) == 2
+
+
+class TestWhenCommand:
+    def test_known_suffix(self, capsys):
+        assert main(["when", "myshopify.com"]) == 0
+        out = capsys.readouterr().out
+        assert "added on" in out
+
+    def test_unknown_suffix(self, capsys):
+        assert main(["when", "never-on-the-list.example"]) == 1
+
+    def test_removed_wildcard(self, capsys):
+        assert main(["when", "*.uk"]) == 0
+        assert "removed on" in capsys.readouterr().out
+
+
+class TestLatestOverride:
+    def test_diff_against_supplied_latest(self, tmp_path, store, capsys):
+        old = _write_list(tmp_path, store, 100, name="old.dat")
+        new = _write_list(tmp_path, store, len(store) - 1, name="new.dat")
+        assert main(["diff", str(old), "--latest", str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "missing" in out
+
+    def test_diff_against_self_is_empty(self, tmp_path, store, capsys):
+        old = _write_list(tmp_path, store, 100, name="old.dat")
+        assert main(["diff", str(old), "--latest", str(old)]) == 0
+        assert "missing 0 rules" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Regression tests for real-world PSL behaviors.
+
+Each case encodes a behavior consumers of the *real* list depend on,
+checked against the synthetic history's newest version (which carries
+the same real rules).  If a refactor of the engine or the synthesizer
+breaks one of these, a real-world consumer would break the same way.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def latest(store):
+    return store.checkout(-1)
+
+
+class TestPrivateOperators:
+    def test_github_pages_tenants_are_sites(self, latest):
+        assert latest.registrable_domain("alice.github.io") == "alice.github.io"
+        assert not latest.same_site("alice.github.io", "bob.github.io")
+
+    def test_github_apex_vs_tenant(self, latest):
+        # github.io itself is the suffix; a tenant is not same-site
+        # with the operator apex.
+        assert latest.is_public_suffix("github.io")
+
+    def test_blogspot_country_family(self, latest):
+        # Each country domain is its own suffix; tenants never share.
+        assert not latest.same_site("a.blogspot.com", "a.blogspot.de")
+        assert not latest.same_site("a.blogspot.co.uk", "b.blogspot.co.uk")
+        assert latest.public_suffix("x.blogspot.co.uk") == "blogspot.co.uk"
+
+    def test_amazonaws_regional_endpoints(self, latest):
+        host = "bucket.s3.eu-west-1.amazonaws.com"
+        assert latest.public_suffix(host) == "s3.eu-west-1.amazonaws.com"
+        # amazonaws.com itself is NOT a public suffix: AWS-internal
+        # hosts under it share a site.
+        assert not latest.is_public_suffix("amazonaws.com")
+        assert latest.same_site("console.amazonaws.com", "api.amazonaws.com")
+
+    def test_dualstack_five_label_rule(self, latest):
+        host = "bucket.s3.dualstack.us-east-1.amazonaws.com"
+        assert latest.registrable_domain(host) == host
+
+    def test_appspot_carveout(self, latest):
+        # r.appspot.com was added long after appspot.com; both are
+        # suffixes today at different depths.
+        assert latest.public_suffix("app.r.appspot.com") == "r.appspot.com"
+        assert latest.public_suffix("app.appspot.com") == "appspot.com"
+
+
+class TestCountryStructure:
+    def test_uk_hierarchy(self, latest):
+        assert latest.registrable_domain("www.amazon.co.uk") == "amazon.co.uk"
+        assert latest.registrable_domain("www.parliament.uk") == "parliament.uk"
+        assert not latest.same_site("amazon.co.uk", "amazon.org.uk")
+
+    def test_jp_geographic_type(self, latest):
+        # city.prefecture.jp names are registration points.
+        suffix = latest.public_suffix("shop.kawasaki.kanagawa.jp")
+        assert suffix.endswith(".jp") and suffix.count(".") >= 1
+
+    def test_designated_city_wildcards(self, latest):
+        assert latest.registrable_domain("a.b.kobe.jp") == "a.b.kobe.jp"
+        assert latest.registrable_domain("city.kobe.jp") == "city.kobe.jp"
+        assert latest.registrable_domain("www.city.kobe.jp") == "city.kobe.jp"
+
+    def test_ck_wildcard_and_exception(self, latest):
+        assert latest.registrable_domain("shop.something.ck") == "shop.something.ck"
+        assert latest.registrable_domain("anything.www.ck") == "www.ck"
+
+    def test_us_locality(self, latest):
+        assert latest.public_suffix("school.k12.ca.us") == "k12.ca.us"
+
+
+class TestBrowserScenarios:
+    def test_supercookie_rejected_across_tenants(self, latest):
+        from repro.privacy.cookies import CookieJar, SuperCookieError
+
+        jar = CookieJar(latest)
+        with pytest.raises(SuperCookieError):
+            jar.set_cookie("shop.myshopify.com", "track", "1", domain="myshopify.com")
+
+    def test_org_cookies_flow_within_site(self, latest):
+        from repro.privacy.cookies import CookieJar
+
+        jar = CookieJar(latest)
+        jar.set_cookie("login.amazon.co.uk", "session", "1", domain="amazon.co.uk")
+        assert jar.cookies_for("www.amazon.co.uk")
+
+    def test_wildcard_cert_refused_for_operator_suffixes(self, latest):
+        from repro.privacy.certs import check_issuance
+
+        assert not check_issuance(latest, "*.myshopify.com").allowed
+        assert not check_issuance(latest, "*.netlify.app").allowed
+        assert check_issuance(latest, "*.example.com").allowed
+
+    def test_dmarc_org_domain_for_tenant(self, latest):
+        from repro.privacy.dmarc import organizational_domain
+
+        assert (
+            organizational_domain(latest, "mail.shop.myshopify.com")
+            == "shop.myshopify.com"
+        )

@@ -1,0 +1,127 @@
+"""Tests for the usage-type classifier, including adversarial repos."""
+
+from repro.repos.classifier import classify
+from repro.repos.model import Repository, Strategy
+
+
+def _repo(files):
+    return Repository(name="t/t", stars=1, forks=0, days_since_commit=1, files=files)
+
+
+class TestNoList:
+    def test_returns_none(self):
+        assert classify(_repo({"src/main.py": "hello"})) is None
+
+
+class TestFixed:
+    def test_production_when_referenced(self):
+        verdict = classify(_repo({
+            "src/data/public_suffix_list.dat": "com\n",
+            "src/main.py": "open('data/public_suffix_list.dat')",
+        }))
+        assert verdict.label.strategy is Strategy.FIXED
+        assert verdict.label.subtype == "production"
+
+    def test_test_when_under_test_tree(self):
+        verdict = classify(_repo({
+            "tests/fixtures/public_suffix_list.dat": "com\n",
+        }))
+        assert verdict.label.subtype == "test"
+
+    def test_test_beats_production_reference(self):
+        # Referenced from code, but it lives in a fixtures dir.
+        verdict = classify(_repo({
+            "spec/public_suffix_list.dat": "com\n",
+            "src/main.py": "load('public_suffix_list.dat')",
+        }))
+        assert verdict.label.subtype == "test"
+
+    def test_other_when_unreferenced(self):
+        verdict = classify(_repo({
+            "resources/public_suffix_list.dat": "com\n",
+            "README.md": "docs",
+        }))
+        assert verdict.label.subtype == "other"
+
+    def test_evidence_present(self):
+        verdict = classify(_repo({"resources/public_suffix_list.dat": "com\n"}))
+        assert verdict.evidence
+
+
+class TestUpdated:
+    def test_build_fetch(self):
+        verdict = classify(_repo({
+            "data/public_suffix_list.dat": "com\n",
+            "Makefile": "curl -o x https://publicsuffix.org/list/public_suffix_list.dat",
+        }))
+        assert verdict.label.strategy is Strategy.UPDATED
+        assert verdict.label.subtype == "build"
+
+    def test_runtime_fetch_user(self):
+        verdict = classify(_repo({
+            "app/public_suffix_list.dat": "com\n",
+            "app/update.py": "urllib.request.urlopen('https://publicsuffix.org/list')",
+        }))
+        assert verdict.label.subtype == "user"
+
+    def test_runtime_fetch_server(self):
+        verdict = classify(_repo({
+            "app/public_suffix_list.dat": "com\n",
+            "app/update.py": "urlopen('https://publicsuffix.org/list')",
+            "deploy/app.service": "[Unit]",
+        }))
+        assert verdict.label.subtype == "server"
+
+    def test_url_mention_without_fetch_is_not_updated(self):
+        # A README linking publicsuffix.org does not make it auto-updating.
+        verdict = classify(_repo({
+            "src/public_suffix_list.dat": "com\n",
+            "docs/NOTES.md": "list from publicsuffix.org",
+            "src/main.py": "open('public_suffix_list.dat')",
+        }))
+        assert verdict.label.strategy is Strategy.FIXED
+
+
+class TestDependency:
+    def test_vendored_jre(self):
+        verdict = classify(_repo({
+            "vendor/jre/lib/security/public_suffix_list.dat": "com\n",
+        }))
+        assert verdict.label.strategy is Strategy.DEPENDENCY
+        assert verdict.label.subtype == "jre"
+
+    def test_library_from_requirements(self):
+        verdict = classify(_repo({
+            "deps/data/public_suffix_list.dat": "com\n",
+            "requirements.txt": "oneforall==0.4.5",
+        }))
+        assert verdict.label.subtype == "oneforall"
+
+    def test_gemfile_domain_name(self):
+        verdict = classify(_repo({
+            "vendor/bundle/public_suffix_list.dat": "com\n",
+            "Gemfile": "gem 'domain_name'",
+        }))
+        assert verdict.label.subtype == "domain_name"
+
+    def test_unknown_vendor_is_other(self):
+        verdict = classify(_repo({
+            "third_party/psl/public_suffix_list.dat": "com\n",
+        }))
+        assert verdict.label.subtype == "other"
+
+    def test_dependency_beats_updated(self):
+        # A vendored copy wins even when a build script also fetches.
+        verdict = classify(_repo({
+            "vendor/jre/lib/security/public_suffix_list.dat": "com\n",
+            "Makefile": "curl https://publicsuffix.org/list",
+        }))
+        assert verdict.label.strategy is Strategy.DEPENDENCY
+
+
+class TestCorpusAgreement:
+    def test_classifier_matches_ground_truth(self, corpus):
+        for repo in corpus:
+            verdict = classify(repo)
+            assert verdict is not None, repo.name
+            assert verdict.label == repo.truth, repo.name

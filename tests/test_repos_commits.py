@@ -1,0 +1,126 @@
+"""Tests for repository commit histories and VCS dating."""
+
+import datetime
+import random
+
+import pytest
+
+from repro.data import paper
+from repro.repos.commits import Commit, RepositoryHistory, synthesize_history
+from repro.repos.dating import date_by_vcs
+
+
+def _history():
+    return RepositoryHistory(
+        [
+            Commit(datetime.date(2019, 1, 1), "Initial commit", ("src/main.py",)),
+            Commit(datetime.date(2020, 6, 1), "Vendor list", ("data/public_suffix_list.dat",)),
+            Commit(datetime.date(2022, 11, 1), "Fix bug", ("src/main.py",)),
+        ]
+    )
+
+
+class TestRepositoryHistory:
+    def test_sorted_and_head(self):
+        history = RepositoryHistory(
+            [
+                Commit(datetime.date(2021, 1, 1), "b", ()),
+                Commit(datetime.date(2020, 1, 1), "a", ()),
+            ]
+        )
+        assert history.head.message == "b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RepositoryHistory([])
+
+    def test_days_since_last_commit(self):
+        assert _history().days_since_last_commit(datetime.date(2022, 11, 11)) == 10
+
+    def test_last_and_first_touched(self):
+        history = _history()
+        assert history.last_touched("src/main.py").date == datetime.date(2022, 11, 1)
+        assert history.first_touched("src/main.py").date == datetime.date(2019, 1, 1)
+        assert history.last_touched("nope") is None
+
+    def test_vendored_list_age(self):
+        history = _history()
+        age = history.vendored_list_age(
+            "data/public_suffix_list.dat", datetime.date(2020, 6, 11)
+        )
+        assert age == 10
+        assert history.vendored_list_age("missing.dat", datetime.date(2022, 1, 1)) is None
+
+
+class TestSynthesizeHistory:
+    def test_invariants(self):
+        history = synthesize_history(
+            rng=random.Random(3),
+            created=datetime.date(2016, 1, 1),
+            last_commit=datetime.date(2022, 10, 1),
+            file_paths=("src/a.py", "data/public_suffix_list.dat"),
+            psl_path="data/public_suffix_list.dat",
+            psl_vendored=datetime.date(2020, 5, 5),
+        )
+        assert history.commits[0].message == "Initial commit"
+        assert history.head.date == datetime.date(2022, 10, 1)
+        vendor = history.last_touched("data/public_suffix_list.dat")
+        assert vendor.date == datetime.date(2020, 5, 5)
+
+    def test_vendor_before_creation_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_history(
+                rng=random.Random(3),
+                created=datetime.date(2021, 1, 1),
+                last_commit=datetime.date(2022, 1, 1),
+                file_paths=("a",),
+                psl_path="a",
+                psl_vendored=datetime.date(2020, 1, 1),
+            )
+
+
+class TestCorpusHistories:
+    def test_every_repo_has_a_history(self, corpus):
+        assert all(repo.history is not None for repo in corpus)
+
+    def test_days_since_commit_agrees_with_history(self, corpus):
+        for repo in corpus:
+            assert repo.days_since_commit == repo.history.days_since_last_commit(
+                paper.MEASUREMENT_DATE
+            )
+
+    def test_vcs_dating_matches_content_dating_for_datable(self, corpus, world):
+        """For pristine vendored copies the two signals coincide."""
+        checked = 0
+        for repo in corpus:
+            dating = world.datings[repo.name]
+            if dating is None or not dating.is_exact:
+                continue
+            vcs_age = date_by_vcs(repo)
+            content_age = dating.age_at()
+            # Ages younger than the final version saturate in content
+            # dating but not in VCS dating.
+            if content_age == 49:
+                assert vcs_age <= 49
+            else:
+                assert vcs_age == content_age, repo.name
+            checked += 1
+        assert checked == 151
+
+    def test_vcs_dating_covers_undatable_repos(self, corpus, world):
+        """The VCS signal exists precisely where content dating fails."""
+        undatable = [
+            repo for repo in corpus
+            if world.datings[repo.name] is None or not world.datings[repo.name].is_exact
+        ]
+        assert undatable
+        for repo in undatable:
+            age = date_by_vcs(repo)
+            assert age is not None
+            low, high = 60, 350  # the generator's undatable base window
+            assert low <= age <= high or age >= 0
+
+    def test_activity_never_precedes_vendoring(self, corpus):
+        for repo in corpus:
+            vendor = repo.history.last_touched(repo.psl_paths()[0])
+            assert repo.history.head.date >= vendor.date

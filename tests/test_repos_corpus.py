@@ -1,0 +1,82 @@
+"""Tests for the corpus generator."""
+
+import statistics
+
+from repro.data import paper
+from repro.repos.corpus import build_corpus
+from repro.repos.model import Strategy
+
+
+class TestShape:
+    def test_273_repositories(self, corpus):
+        assert len(corpus) == paper.REPOSITORY_COUNT
+
+    def test_unique_names(self, corpus):
+        assert len({repo.name for repo in corpus}) == len(corpus)
+
+    def test_every_repo_vendors_a_list(self, corpus):
+        assert all(repo.psl_paths() for repo in corpus)
+
+    def test_truth_marginals_match_table1(self, corpus):
+        counts: dict[tuple, int] = {}
+        for repo in corpus:
+            key = (repo.truth.strategy.value, repo.truth.subtype)
+            counts[key] = counts.get(key, 0) + 1
+        for strategy, subtypes in paper.TABLE1.items():
+            for subtype, expected in subtypes.items():
+                assert counts[(strategy, subtype)] == expected, (strategy, subtype)
+
+
+class TestTable3Verbatim:
+    def test_names_and_metadata(self, corpus):
+        by_name = {repo.name: repo for repo in corpus}
+        for row in paper.TABLE3:
+            repo = by_name[row.name]
+            assert repo.stars == row.stars
+            assert repo.forks == row.forks
+            assert repo.truth.subtype == row.subtype
+
+    def test_bitwarden_vendors_an_old_list(self, corpus, world):
+        by_name = {repo.name: repo for repo in corpus}
+        repo = by_name["bitwarden/server"]
+        dating = world.dater.date_text(repo.files[repo.psl_paths()[0]])
+        assert dating.is_exact
+        assert dating.age_at(paper.MEASUREMENT_DATE) == 1596
+
+
+class TestPopularityClaims:
+    def test_production_star_median(self, corpus):
+        stars = [r.stars for r in corpus if r.truth.subtype == "production"]
+        assert len(stars) == 43
+        assert statistics.median(stars) == 60
+
+    def test_five_production_repos_over_500_stars(self, corpus):
+        stars = [r.stars for r in corpus if r.truth.subtype == "production"]
+        assert sum(1 for s in stars if s >= 500) == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self, store, corpus):
+        rebuilt = build_corpus(store)
+        assert [r.name for r in rebuilt] == [r.name for r in corpus]
+        assert [r.stars for r in rebuilt] == [r.stars for r in corpus]
+
+
+class TestVendoredContent:
+    def test_fixed_lists_parse(self, corpus):
+        from repro.psl.parser import parse_psl
+
+        sample = [r for r in corpus if r.truth.strategy is Strategy.FIXED][:3]
+        for repo in sample:
+            psl = parse_psl(repo.files[repo.psl_paths()[0]])
+            assert len(psl) > 2000
+
+    def test_undatable_lists_contain_intranet_marker(self, corpus, world):
+        undatable = [
+            repo for repo in corpus
+            if world.datings[repo.name] is None or not world.datings[repo.name].is_exact
+        ]
+        assert len(undatable) == 122
+        assert all(
+            "intranet-" in repo.files[repo.psl_paths()[0]] for repo in undatable
+        )

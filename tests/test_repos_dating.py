@@ -1,0 +1,122 @@
+"""Tests for vendored-list dating."""
+
+import datetime
+
+from repro.history.store import VersionStore
+from repro.psl.rules import Rule
+from repro.psl.serialize import serialize_rules
+from repro.repos.dating import (
+    ListDater,
+    date_list_text,
+    extract_rule_lines,
+    list_set_digest,
+    strip_private_division,
+)
+
+
+def _rules(*texts):
+    return [Rule.parse(text) for text in texts]
+
+
+def _store():
+    store = VersionStore()
+    store.commit_rules(datetime.date(2018, 1, 1), added=_rules("com", "net"))
+    store.commit_rules(datetime.date(2019, 1, 1), added=_rules("co.uk"))
+    store.commit_rules(datetime.date(2020, 1, 1), added=_rules("github.io"))
+    store.commit_rules(datetime.date(2021, 1, 1), added=_rules("dev", "app"))
+    return store
+
+
+class TestExtractLines:
+    def test_comments_and_blanks_dropped(self):
+        lines = extract_rule_lines("// c\n\ncom\n  net  \n// d\n")
+        assert lines == ["com", "net"]
+
+    def test_digest_order_independent(self):
+        assert list_set_digest("com\nnet\n") == list_set_digest("net\ncom\n")
+
+    def test_digest_comment_independent(self):
+        assert list_set_digest("// x\ncom\n") == list_set_digest("com\n")
+
+    def test_digest_differs_on_content(self):
+        assert list_set_digest("com\n") != list_set_digest("net\n")
+
+
+class TestExactDating:
+    def test_each_version_dated_exactly(self):
+        store = _store()
+        for index in range(len(store)):
+            text = serialize_rules(store.rules_at(index))
+            result = date_list_text(store, text)
+            assert result.is_exact
+            assert result.version_index == index
+            assert result.date == store.version(index).date
+
+    def test_formatting_noise_ignored(self):
+        store = _store()
+        text = serialize_rules(store.rules_at(1))
+        noisy = "// extra comment\n" + text.replace("\n", "\n\n")
+        result = date_list_text(store, noisy)
+        assert result.is_exact and result.version_index == 1
+
+    def test_age_at(self):
+        store = _store()
+        result = date_list_text(store, serialize_rules(store.rules_at(0)))
+        assert result.age_at(datetime.date(2018, 1, 31)) == 30
+
+
+class TestNearestDating:
+    def test_modified_list_dated_nearby(self):
+        store = _store()
+        text = serialize_rules(store.rules_at(2)) + "custom.example\n"
+        result = date_list_text(store, text)
+        assert result is not None
+        assert not result.is_exact
+        assert result.version_index == 2
+        assert 0.5 < result.confidence < 1.0
+
+    def test_anchor_is_newest_shared_rule(self):
+        store = _store()
+        # Rules of version 3 minus one: the anchor is still version 3.
+        rules = [r.text for r in store.rules_at(3) if r.text != "com"]
+        result = date_list_text(store, "\n".join(rules) + "\n")
+        assert result.version_index == 3
+
+    def test_totally_unknown_rules_return_none(self):
+        store = _store()
+        assert date_list_text(store, "alpha.example\nbeta.example\n") is None
+
+    def test_empty_text_returns_none(self):
+        assert date_list_text(_store(), "// only comments\n") is None
+
+
+class TestDaterReuse:
+    def test_dater_caches_probe_sets(self):
+        store = _store()
+        dater = ListDater(store)
+        text = serialize_rules(store.rules_at(1)) + "x.example\n"
+        first = dater.date_text(text)
+        second = dater.date_text(text)
+        assert first == second
+
+    def test_corpus_datable_counts(self, world):
+        # The calibrated world: exactly 151 exact-datable repositories.
+        exact = [
+            name for name, dating in world.datings.items()
+            if dating is not None and dating.is_exact
+        ]
+        assert len(exact) == 151
+
+
+class TestStripPrivate:
+    def test_strips_only_private(self, small_psl):
+        from repro.psl.parser import parse_psl
+        from repro.psl.serialize import serialize_psl
+        from repro.psl.rules import Section
+
+        stripped = strip_private_division(serialize_psl(small_psl))
+        reparsed = parse_psl(stripped)
+        assert not reparsed.rules_in_section(Section.PRIVATE)
+        assert len(reparsed.rules_in_section(Section.ICANN)) == len(
+            small_psl.rules_in_section(Section.ICANN)
+        )

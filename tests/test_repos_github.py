@@ -1,0 +1,111 @@
+"""Tests for the GitHub-API façade."""
+
+import pytest
+
+from repro.repos.github import GitHubApi, RateLimitExceeded, file_campaign
+from repro.repos.model import PSL_FILENAME, Repository
+
+
+def _repo(name, files=None, stars=5):
+    return Repository(
+        name=name, stars=stars, forks=1, days_since_commit=10, files=files or {}
+    )
+
+
+@pytest.fixture()
+def api():
+    return GitHubApi(
+        repos=[
+            _repo("a/one", {"data/public_suffix_list.dat": "com\n", "Makefile": "curl publicsuffix.org"}),
+            _repo("b/two", {"src/main.py": "print('hi')"}),
+        ],
+        budget=50,
+    )
+
+
+class TestSearch:
+    def test_filename_search(self, api):
+        hits = api.search_code(filename=PSL_FILENAME)
+        assert [hit.repository for hit in hits] == ["a/one"]
+
+    def test_content_search(self, api):
+        hits = api.search_code(content="publicsuffix.org")
+        assert hits and hits[0].path == "Makefile"
+
+    def test_filename_plus_content(self, api):
+        assert api.search_code(filename=PSL_FILENAME, content="com") != []
+        assert api.search_code(filename=PSL_FILENAME, content="zzz") == []
+
+    def test_query_required(self, api):
+        with pytest.raises(ValueError):
+            api.search_code()
+
+
+class TestReads:
+    def test_get_repo(self, api):
+        info = api.get_repo("a/one")
+        assert info.stargazers_count == 5
+
+    def test_get_repo_unknown(self, api):
+        with pytest.raises(KeyError):
+            api.get_repo("nope/nope")
+
+    def test_get_contents(self, api):
+        assert api.get_contents("a/one", "Makefile").startswith("curl")
+
+
+class TestIssues:
+    def test_create_and_list(self, api):
+        issue = api.create_issue("a/one", "Stale PSL", "please update", labels=("privacy",))
+        assert issue.number == 1
+        assert api.list_issues("a/one") == [issue]
+
+    def test_close(self, api):
+        issue = api.create_issue("a/one", "t", "b")
+        api.close_issue("a/one", issue.number)
+        assert api.list_issues("a/one") == []
+        assert api.list_issues("a/one", state="closed")
+
+    def test_close_unknown(self, api):
+        with pytest.raises(KeyError):
+            api.close_issue("a/one", 99)
+
+    def test_create_against_unknown_repo(self, api):
+        with pytest.raises(KeyError):
+            api.create_issue("nope/nope", "t", "b")
+
+
+class TestRateLimit:
+    def test_budget_decrements(self, api):
+        before = api.remaining_budget
+        api.get_repo("a/one")
+        assert api.remaining_budget == before - 1
+
+    def test_exhaustion_raises(self):
+        api = GitHubApi(repos=[_repo("a/one")], budget=1)
+        api.get_repo("a/one")
+        with pytest.raises(RateLimitExceeded):
+            api.get_repo("a/one")
+
+
+class TestEndToEndDisclosure:
+    def test_full_study_flow(self, world, sweep):
+        """Discovery -> classification already done -> campaign -> filing."""
+        from repro.analysis.notifications import run_campaign
+
+        api = GitHubApi(repos=world.corpus, budget=10_000)
+        hits = api.search_code(filename=PSL_FILENAME)
+        assert len({hit.repository for hit in hits}) == 273
+
+        campaign = run_campaign(world, sweep)
+        filed = file_campaign(api, campaign.notifications)
+        assert len(filed) == campaign.total
+        assert api.list_issues("bitwarden/server")
+
+    def test_filing_stops_at_rate_limit(self, world, sweep):
+        from repro.analysis.notifications import run_campaign
+
+        campaign = run_campaign(world, sweep)
+        api = GitHubApi(repos=world.corpus, budget=10)
+        filed = file_campaign(api, campaign.notifications)
+        assert len(filed) == 10

@@ -1,0 +1,90 @@
+"""Tests for the repository model and the search index."""
+
+import pytest
+
+from repro.repos.model import PSL_FILENAME, Repository, Strategy, UsageLabel
+from repro.repos.search import SearchIndex
+
+
+def _repo(name="u/r", files=None):
+    return Repository(
+        name=name,
+        stars=5,
+        forks=1,
+        days_since_commit=10,
+        files=files or {},
+    )
+
+
+class TestUsageLabel:
+    def test_valid(self):
+        UsageLabel(Strategy.FIXED, "production")
+        UsageLabel(Strategy.UPDATED, "server")
+        UsageLabel(Strategy.DEPENDENCY, "jre")
+
+    def test_invalid_subtype(self):
+        with pytest.raises(ValueError):
+            UsageLabel(Strategy.FIXED, "server")
+        with pytest.raises(ValueError):
+            UsageLabel(Strategy.DEPENDENCY, "production")
+
+
+class TestRepository:
+    def test_psl_paths(self):
+        repo = _repo(files={
+            "a/public_suffix_list.dat": "",
+            "b/other.dat": "",
+            "public_suffix_list.dat": "",
+        })
+        assert repo.psl_paths() == ["a/public_suffix_list.dat", "public_suffix_list.dat"]
+
+    def test_file_names(self):
+        repo = _repo(files={"x/y/Makefile": ""})
+        assert repo.file_names() == ["Makefile"]
+
+
+class TestSearchIndex:
+    def test_filename_search(self):
+        repos = [
+            _repo("a/one", {"data/public_suffix_list.dat": ""}),
+            _repo("b/two", {"src/main.py": ""}),
+        ]
+        index = SearchIndex(repos)
+        hits = index.find_filename(PSL_FILENAME)
+        assert [hit.repository for hit in hits] == ["a/one"]
+
+    def test_filename_case_insensitive(self):
+        index = SearchIndex([_repo("a/one", {"Data/Public_Suffix_List.DAT": ""})])
+        assert index.find_filename("public_suffix_list.dat")
+
+    def test_repositories_with_file_dedupes(self):
+        repo = _repo("a/one", {
+            "x/public_suffix_list.dat": "",
+            "y/public_suffix_list.dat": "",
+        })
+        index = SearchIndex([repo])
+        assert len(index.repositories_with_file(PSL_FILENAME)) == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchIndex([_repo("a/one"), _repo("a/one")])
+
+    def test_grep(self):
+        index = SearchIndex([
+            _repo("a/one", {"Makefile": "curl https://publicsuffix.org/list"}),
+            _repo("b/two", {"README": "nothing"}),
+        ])
+        hits = index.grep("publicsuffix.org")
+        assert [(h.repository, h.path) for h in hits] == [("a/one", "Makefile")]
+
+    def test_repository_lookup(self):
+        repo = _repo("a/one")
+        assert SearchIndex([repo]).repository("a/one") is repo
+
+    def test_len(self):
+        assert len(SearchIndex([_repo("a/one"), _repo("b/two")])) == 2
+
+    def test_discovery_over_corpus(self, corpus):
+        index = SearchIndex(corpus)
+        found = index.repositories_with_file(PSL_FILENAME)
+        assert len(found) == 273

@@ -1,0 +1,74 @@
+"""Tests for maintainer notifications."""
+
+from repro.repos.classifier import classify
+from repro.repos.notify import build_notification
+from repro.repos.model import Repository
+
+
+def _production_repo(list_text="com\n"):
+    return Repository(
+        name="acme/passwords",
+        stars=100,
+        forks=10,
+        days_since_commit=5,
+        files={
+            "src/data/public_suffix_list.dat": list_text,
+            "src/main.py": "open('data/public_suffix_list.dat')",
+        },
+    )
+
+
+class TestNotification:
+    def test_production_is_high_severity(self, world):
+        repo = _production_repo()
+        verdict = classify(repo)
+        note = build_notification(repo, verdict, dating=None)
+        assert note.severity == "high"
+        assert note.repository == "acme/passwords"
+
+    def test_body_mentions_strategy_and_fix(self, world):
+        repo = _production_repo()
+        note = build_notification(repo, classify(repo), dating=None)
+        assert "fixed / production" in note.body
+        assert "publicsuffix.org" in note.body
+
+    def test_age_included_when_dated(self, world, corpus):
+        by_name = {r.name: r for r in corpus}
+        repo = by_name["bitwarden/server"]
+        verdict = classify(repo)
+        dating = world.datings[repo.name]
+        note = build_notification(repo, verdict, dating, missing_etlds=10, missing_hostnames=500)
+        assert "1596 days" in note.body
+        assert "10 eTLDs" in note.body
+        assert "1596 days old" in note.title
+
+    def test_undated_title(self, world):
+        repo = _production_repo()
+        note = build_notification(repo, classify(repo), dating=None)
+        assert "days old" not in note.title
+
+    def test_server_subtype_high_severity(self):
+        repo = Repository(
+            name="acme/daemon",
+            stars=5,
+            forks=1,
+            days_since_commit=30,
+            files={
+                "app/public_suffix_list.dat": "com\n",
+                "app/update.py": "urlopen('https://publicsuffix.org/list')",
+                "deploy/a.service": "[Unit]",
+            },
+        )
+        note = build_notification(repo, classify(repo), dating=None)
+        assert note.severity == "high"
+
+    def test_test_usage_lower_severity(self):
+        repo = Repository(
+            name="acme/lib",
+            stars=5,
+            forks=1,
+            days_since_commit=30,
+            files={"tests/fixtures/public_suffix_list.dat": "com\n"},
+        )
+        note = build_notification(repo, classify(repo), dating=None)
+        assert note.severity in ("low", "medium")

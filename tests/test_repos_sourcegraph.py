@@ -1,0 +1,105 @@
+"""Tests for the Sourcegraph-like query interface."""
+
+import pytest
+
+from repro.repos.model import Repository
+from repro.repos.sourcegraph import (
+    QueryError,
+    SourcegraphApi,
+    parse_query,
+)
+
+
+def _repo(name, files):
+    return Repository(name=name, stars=1, forks=0, days_since_commit=1, files=files)
+
+
+@pytest.fixture()
+def api():
+    return SourcegraphApi(
+        [
+            _repo("bitwarden/server", {
+                "core/public_suffix_list.dat": "// ===BEGIN ICANN DOMAINS===\ncom\n",
+                "src/main.cs": "class Program {}",
+            }),
+            _repo("acme/tool", {
+                "Makefile": "curl https://publicsuffix.org/list",
+                "data/rules.dat": "com\nnet\n",
+            }),
+        ]
+    )
+
+
+class TestParseQuery:
+    def test_filters(self):
+        query = parse_query(r'repo:acme file:\.dat$ content:"com" count:5')
+        assert query.repo_patterns == ("acme",)
+        assert query.file_patterns == (r"\.dat$",)
+        assert query.content_terms == ("com",)
+        assert query.count == 5
+
+    def test_bare_terms_are_content(self):
+        assert parse_query("publicsuffix.org").content_terms == ("publicsuffix.org",)
+
+    def test_quoted_content_with_spaces(self):
+        query = parse_query('content:"BEGIN ICANN DOMAINS"')
+        assert query.content_terms == ("BEGIN ICANN DOMAINS",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("count:many")
+
+    def test_unbalanced_quote_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query('content:"oops')
+
+
+class TestSearch:
+    def test_the_papers_query(self, api):
+        matches = api.search("file:public_suffix_list.dat")
+        assert [(m.repository, m.path) for m in matches] == [
+            ("bitwarden/server", "core/public_suffix_list.dat")
+        ]
+
+    def test_regex_file_filter(self, api):
+        matches = api.search(r"file:\.dat$")
+        assert len(matches) == 2
+
+    def test_repo_filter(self, api):
+        matches = api.search(r"repo:^acme/ file:\.dat$")
+        assert [m.repository for m in matches] == ["acme/tool"]
+
+    def test_content_filter(self, api):
+        matches = api.search('content:"===BEGIN ICANN DOMAINS==="')
+        assert [m.path for m in matches] == ["core/public_suffix_list.dat"]
+
+    def test_count_caps_results(self, api):
+        assert len(api.search(r"file:\.dat$ count:1")) == 1
+
+    def test_invalid_regex(self, api):
+        with pytest.raises(QueryError):
+            api.search("file:[unclosed")
+
+    def test_repositories_matching(self, api):
+        assert api.repositories_matching("content:publicsuffix.org") == ["acme/tool"]
+
+
+class TestAgainstCorpus:
+    def test_discovery_query_finds_273(self, corpus):
+        api = SourcegraphApi(corpus)
+        repos = api.repositories_matching("file:(^|/)public_suffix_list\\.dat$")
+        assert len(repos) == 273
+
+    def test_updated_projects_found_by_fetch_content(self, corpus):
+        # Every vendored .dat mentions publicsuffix.org in its header
+        # comment, so scope the content query to build/source files —
+        # that isolates exactly the updated-strategy projects.
+        api = SourcegraphApi(corpus)
+        repos = api.repositories_matching(
+            r"content:publicsuffix.org file:(Makefile|\.py$)"
+        )
+        assert len(repos) == 35

@@ -1,0 +1,111 @@
+"""Tests for the snapshot container and page records."""
+
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.records import Page
+
+
+def _snapshot():
+    snap = Snapshot(label="test")
+    snap.add_page(Page("www.a.com", ("cdn.a.com", "ads.t.com", "ads.t.com")))
+    snap.add_page(Page("b.github.io", ("a.github.io",)))
+    snap.add_hostname("lonely.example")
+    return snap
+
+
+class TestPage:
+    def test_request_count(self):
+        page = Page("a.com", ("b.com", "c.com"))
+        assert page.request_count == 2
+
+    def test_hosts_iterates_page_first(self):
+        assert list(Page("a.com", ("b.com",)).hosts()) == ["a.com", "b.com"]
+
+
+class TestSnapshot:
+    def test_hostnames_unique_and_sorted(self):
+        hostnames = _snapshot().hostnames
+        assert hostnames == tuple(sorted(set(hostnames)))
+        assert "ads.t.com" in hostnames
+        assert "lonely.example" in hostnames
+
+    def test_len_counts_hostnames(self):
+        assert len(_snapshot()) == 6
+
+    def test_request_count_keeps_multiplicity(self):
+        assert _snapshot().request_count == 4
+
+    def test_iter_request_pairs(self):
+        pairs = list(_snapshot().iter_request_pairs())
+        assert pairs.count(("www.a.com", "ads.t.com")) == 2
+
+    def test_hostname_cache_invalidated_on_add(self):
+        snap = _snapshot()
+        before = len(snap.hostnames)
+        snap.add_page(Page("new.example", ()))
+        assert len(snap.hostnames) == before + 1
+
+    def test_add_hostname_invalidates_cache(self):
+        snap = _snapshot()
+        _ = snap.hostnames
+        snap.add_hostname("zz.example")
+        assert "zz.example" in snap.hostnames
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        snap = _snapshot()
+        path = tmp_path / "snap.jsonl"
+        snap.dump_jsonl(str(path))
+        loaded = Snapshot.load_jsonl(str(path))
+        assert loaded.label == snap.label
+        assert loaded.hostnames == snap.hostnames
+        assert loaded.request_count == snap.request_count
+        assert loaded.pages == snap.pages
+
+    def test_from_pages(self):
+        snap = Snapshot.from_pages([Page("a.com", ())], label="x")
+        assert snap.label == "x" and len(snap) == 1
+
+
+class TestFromUrlLog:
+    def test_urls_stripped_to_hostnames(self):
+        snap = Snapshot.from_url_log(
+            [
+                ("https://www.example.com/page.html", "https://cdn.example.com/app.js"),
+                ("https://www.example.com/page.html", "http://ads.tracker.net:8080/px?id=1"),
+            ]
+        )
+        assert snap.pages[0].host == "www.example.com"
+        assert snap.pages[0].request_hosts == ("cdn.example.com", "ads.tracker.net")
+
+    def test_requests_grouped_by_page_host(self):
+        snap = Snapshot.from_url_log(
+            [
+                ("https://a.com/x", "https://s.net/1"),
+                ("https://a.com/y", "https://s.net/2"),
+            ]
+        )
+        assert len(snap.pages) == 1
+        assert snap.pages[0].request_count == 2
+
+    def test_ip_literals_skipped(self):
+        snap = Snapshot.from_url_log(
+            [
+                ("https://192.168.0.1/admin", "https://cdn.example.com/a"),
+                ("https://a.com/", "https://[::1]/x"),
+            ]
+        )
+        assert len(snap.pages) == 0
+
+    def test_garbage_rows_skipped(self):
+        snap = Snapshot.from_url_log(
+            [
+                ("not a url", "https://a.com/"),
+                ("https://a.com/", "https://b.com/ok"),
+            ]
+        )
+        assert len(snap.pages) == 1
+
+    def test_case_normalized(self):
+        snap = Snapshot.from_url_log([("HTTPS://A.COM/", "https://B.com/")])
+        assert snap.hostnames == ("a.com", "b.com")

@@ -1,0 +1,126 @@
+"""Tests for snapshot statistics and repo language detection."""
+
+import pytest
+
+from repro.repos.languages import detect_language, language_breakdown
+from repro.repos.model import Repository, Strategy
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.records import Page
+from repro.webgraph.stats import (
+    DistributionSummary,
+    render_statistics,
+    site_size_fit,
+    snapshot_statistics,
+)
+
+
+def _snapshot():
+    snap = Snapshot()
+    snap.add_page(Page("www.a.com", ("cdn.a.com", "x.t.net", "x.t.net")))
+    snap.add_page(Page("deep.sub.b.co.uk", ("x.t.net",)))
+    snap.add_hostname("lonely.io")
+    return snap
+
+
+class TestDistributionSummary:
+    def test_basic(self):
+        summary = DistributionSummary.from_values([1, 2, 3, 4, 100])
+        assert summary.count == 5
+        assert summary.median == 3
+        assert summary.maximum == 100
+        assert summary.mean == pytest.approx(22.0)
+
+    def test_empty(self):
+        summary = DistributionSummary.from_values([])
+        assert summary.count == 0 and summary.maximum == 0
+
+
+class TestSnapshotStatistics:
+    def test_counts(self):
+        stats = snapshot_statistics(_snapshot())
+        assert stats.hostnames == 5  # x.t.net is requested twice
+        assert stats.pages == 2
+        assert stats.requests == 4
+
+    def test_depths(self):
+        stats = snapshot_statistics(_snapshot())
+        assert stats.label_depth.maximum == 5  # deep.sub.b.co.uk
+        assert stats.label_depth.count == 5
+
+    def test_tld_diversity(self):
+        stats = snapshot_statistics(_snapshot())
+        assert stats.distinct_tlds == 4  # com, net, uk, io
+
+    def test_render(self):
+        text = render_statistics(snapshot_statistics(_snapshot()))
+        assert "hostnames: 5" in text and "distinct TLDs: 4" in text
+
+    def test_on_synthesized_snapshot(self, snapshot):
+        stats = snapshot_statistics(snapshot)
+        assert stats.hostnames == len(snapshot)
+        assert 2 < stats.label_depth.mean < 5
+
+
+class TestSiteSizeFit:
+    def test_singletons(self):
+        assignment = {f"h{i}.example": f"s{i}.example" for i in range(20)}
+        fit = site_size_fit(assignment)
+        assert fit.singleton_share == 1.0
+        assert fit.zipf_exponent is None  # flat head, nothing to fit
+
+    def test_zipf_exponent_on_powerlaw(self):
+        assignment = {}
+        host = 0
+        for rank in range(1, 60):
+            size = max(1, int(1000 / rank))  # exponent -1 by construction
+            for _ in range(size):
+                assignment[f"h{host}.x"] = f"site{rank}.x"
+                host += 1
+        fit = site_size_fit(assignment)
+        assert fit.zipf_exponent == pytest.approx(-1.0, abs=0.1)
+
+    def test_world_grouping_is_heavy_tailed_under_old_list(self, world, sweep):
+        # Under the 2007 list the tenant populations collapse into
+        # their operators' sites, producing the heavy tail.
+        from repro.webgraph.sites import group_sites
+
+        assignment = group_sites(world.store.checkout(0), world.snapshot.hostnames)
+        fit = site_size_fit(assignment)
+        assert fit.sizes.maximum > 1000  # myshopify.com's merged tenants
+        assert 0.0 < fit.singleton_share < 0.5
+        assert fit.zipf_exponent is not None and fit.zipf_exponent < -0.5
+
+
+class TestLanguageDetection:
+    def test_extension_majority(self):
+        repo = Repository("a/b", 1, 0, 1, files={"x.py": "", "y.py": "", "z.rb": ""})
+        assert detect_language(repo) == "Python"
+
+    def test_manifest_fallback(self):
+        repo = Repository("a/b", 1, 0, 1, files={"pom.xml": "<project/>", "data.dat": ""})
+        assert detect_language(repo) == "Java"
+
+    def test_undecidable(self):
+        repo = Repository("a/b", 1, 0, 1, files={"README": "", "data.dat": ""})
+        assert detect_language(repo) is None
+
+    def test_dependency_languages_match_paper_column(self, corpus):
+        """Table 1's language annotations, measured from the corpus."""
+        from repro.data.paper import DEPENDENCY_LANGUAGES
+
+        for repo in corpus:
+            if repo.truth.strategy is not Strategy.DEPENDENCY:
+                continue
+            expected = DEPENDENCY_LANGUAGES[repo.truth.subtype]
+            if expected == "Other":
+                continue
+            assert detect_language(repo) == expected, repo.truth.subtype
+
+    def test_breakdown(self):
+        repos = [
+            Repository("a/b", 1, 0, 1, files={"x.py": ""}),
+            Repository("c/d", 1, 0, 1, files={"y.rb": ""}),
+            Repository("e/f", 1, 0, 1, files={"README": ""}),
+        ]
+        counts = language_breakdown(repos)
+        assert counts == {"Python": 1, "Ruby": 1, "unknown": 1}

@@ -1,0 +1,68 @@
+"""Tests for streaming site accounting."""
+
+from repro.webgraph.sites import group_sites, site_metrics
+from repro.webgraph.stream import (
+    count_sites_streaming,
+    count_third_party_streaming,
+    iter_hostnames_from_jsonl,
+)
+from repro.webgraph.thirdparty import count_third_party
+
+
+class TestCountSitesStreaming:
+    def test_matches_in_memory(self, small_psl, snapshot):
+        streamed = count_sites_streaming(small_psl, iter(snapshot.hostnames))
+        assignment = group_sites(small_psl, snapshot.hostnames)
+        metrics = site_metrics(assignment)
+        assert streamed.sites == metrics.site_count
+        assert streamed.hostnames == metrics.hostname_count
+
+    def test_largest_site(self, small_psl):
+        hosts = ["a.x.com", "b.x.com", "x.com", "solo.org"]
+        streamed = count_sites_streaming(small_psl, hosts)
+        assert streamed.largest_site == 3
+        assert streamed.sites == 2
+
+    def test_empty_stream(self, small_psl):
+        streamed = count_sites_streaming(small_psl, iter(()))
+        assert streamed.sites == 0 and streamed.largest_site == 0
+
+    def test_duplicates_counted_per_occurrence(self, small_psl):
+        streamed = count_sites_streaming(small_psl, ["a.com", "a.com"])
+        assert streamed.hostnames == 2
+        assert streamed.sites == 1
+
+
+class TestCountThirdPartyStreaming:
+    def test_matches_in_memory(self, small_psl, snapshot):
+        assignment = group_sites(small_psl, snapshot.hostnames)
+        expected = count_third_party(assignment, snapshot)
+        third, total = count_third_party_streaming(
+            small_psl, snapshot.iter_request_pairs()
+        )
+        assert third == expected
+        assert total == snapshot.request_count
+
+    def test_simple_pairs(self, small_psl):
+        pairs = [("www.a.com", "cdn.a.com"), ("www.a.com", "t.ads.net")]
+        third, total = count_third_party_streaming(small_psl, pairs)
+        assert (third, total) == (1, 2)
+
+
+class TestJsonlStreaming:
+    def test_roundtrip_through_file(self, small_psl, tmp_path, snapshot):
+        path = tmp_path / "snap.jsonl"
+        snapshot.dump_jsonl(str(path))
+        # Stream with dedup, matching the snapshot's unique-host set.
+        seen: set[str] = set()
+
+        def unique():
+            for host in iter_hostnames_from_jsonl(str(path)):
+                if host not in seen:
+                    seen.add(host)
+                    yield host
+
+        streamed = count_sites_streaming(small_psl, unique())
+        assert streamed.hostnames == len(snapshot)
+        metrics = site_metrics(group_sites(small_psl, snapshot.hostnames))
+        assert streamed.sites == metrics.site_count

@@ -1,0 +1,104 @@
+"""Tests for the snapshot synthesizer."""
+
+from repro.calibrate.suffixes import full_schedule
+from repro.data import paper
+from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
+
+
+def _small(**overrides):
+    defaults = dict(
+        seed=42,
+        harm_scale=0.01,
+        bulk_scale=0.02,
+    )
+    defaults.update(overrides)
+    return SnapshotConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_negative_scales_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SnapshotConfig(harm_scale=-0.1)
+        with pytest.raises(ValueError):
+            SnapshotConfig(bulk_scale=-1)
+
+    def test_fraction_bounds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SnapshotConfig(tenant_page_fraction=1.5)
+        with pytest.raises(ValueError):
+            SnapshotConfig(plain_page_fraction=-0.2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_snapshot(self):
+        first = synthesize_snapshot(_small())
+        second = synthesize_snapshot(_small())
+        assert first.hostnames == second.hostnames
+        assert first.pages == second.pages
+
+    def test_different_seed_differs(self):
+        assert synthesize_snapshot(_small()).hostnames != synthesize_snapshot(
+            _small(seed=43)
+        ).hostnames
+
+
+class TestHarmPopulations:
+    def test_exact_at_scale_one(self, world):
+        # Session snapshot runs harm_scale=1.0.
+        hostnames = set(world.snapshot.hostnames)
+        suffix = paper.TABLE2[0].etld  # myshopify.com
+        tenants = [
+            host
+            for host in hostnames
+            if host.endswith("." + suffix) and host.count(".") == suffix.count(".") + 1
+        ]
+        assert len(tenants) == paper.TABLE2[0].hostnames
+
+    def test_scaled_down(self):
+        snap = synthesize_snapshot(_small(harm_scale=0.01))
+        hostnames = set(snap.hostnames)
+        suffix = paper.TABLE2[0].etld
+        tenants = [h for h in hostnames if h.endswith("." + suffix)]
+        assert 0 < len(tenants) < paper.TABLE2[0].hostnames / 50
+
+    def test_every_calibrated_suffix_has_a_tenant_at_full_scale(self, world):
+        hostnames = world.snapshot.hostnames
+        by_suffix = set()
+        for host in hostnames:
+            by_suffix.add(host.split(".", 1)[1] if "." in host else host)
+        for record in full_schedule():
+            assert record.suffix in by_suffix, record.suffix
+
+
+class TestStructure:
+    def test_no_background_host_under_calibrated_suffix(self):
+        snap = synthesize_snapshot(_small(harm_scale=0.0))
+        suffixes = {record.suffix for record in full_schedule(42)}
+        for host in snap.hostnames:
+            if "." not in host:
+                continue
+            parent = host.split(".", 1)[1]
+            assert parent not in suffixes, host
+
+    def test_pages_reference_known_hosts(self):
+        snap = synthesize_snapshot(_small())
+        hostnames = set(snap.hostnames)
+        for page in snap.pages:
+            assert page.host in hostnames
+            assert set(page.request_hosts) <= hostnames
+
+    def test_request_cap_respected(self):
+        config = _small(max_requests_per_page=5)
+        for page in synthesize_snapshot(config).pages:
+            assert page.request_count <= 5
+
+    def test_zero_bulk_still_has_harm_hosts(self):
+        snap = synthesize_snapshot(SnapshotConfig(seed=1, harm_scale=0.005, bulk_scale=0.0))
+        assert len(snap) > 0
+
+    def test_label_is_seeded(self):
+        assert "seed=42" in synthesize_snapshot(_small()).label

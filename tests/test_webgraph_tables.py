@@ -1,0 +1,138 @@
+"""Tests for the columnar query layer."""
+
+import pytest
+
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.records import Page
+from repro.webgraph.sites import group_sites
+from repro.webgraph.tables import (
+    Table,
+    hostnames_table,
+    requests_table,
+    sites_table,
+)
+
+
+@pytest.fixture()
+def people():
+    return Table.from_rows(
+        ("name", "team", "age"),
+        [("ana", "red", 34), ("bo", "blue", 28), ("cy", "red", 41), ("di", "blue", 28)],
+    )
+
+
+class TestCore:
+    def test_len_and_column(self, people):
+        assert len(people) == 4
+        assert people.column("team") == ("red", "blue", "red", "blue")
+
+    def test_missing_column_raises(self, people):
+        with pytest.raises(KeyError):
+            people.column("nope")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            Table.from_rows(("a", "b"), [(1,)])
+
+    def test_empty_table(self):
+        table = Table.from_rows(("a",), [])
+        assert len(table) == 0
+        assert list(table.rows()) == []
+
+    def test_where(self, people):
+        reds = people.where(lambda row: row["team"] == "red")
+        assert len(reds) == 2
+
+    def test_select(self, people):
+        names = people.select("name")
+        assert names.columns == ("name",)
+        assert names.column("name") == ("ana", "bo", "cy", "di")
+
+    def test_with_column(self, people):
+        extended = people.with_column("decade", lambda row: row["age"] // 10)
+        assert extended.column("decade") == (3, 2, 4, 2)
+
+    def test_distinct(self, people):
+        assert len(people.distinct("team")) == 2
+        assert len(people.distinct("team", "age")) == 3
+
+    def test_order_by(self, people):
+        ordered = people.order_by("age", descending=True)
+        assert ordered.column("name")[0] == "cy"
+
+    def test_limit(self, people):
+        assert len(people.limit(2)) == 2
+
+    def test_to_dicts(self, people):
+        assert people.limit(1).to_dicts() == [{"name": "ana", "team": "red", "age": 34}]
+
+
+class TestGroupBy:
+    def test_count(self, people):
+        counts = dict(people.group_by("team").count().rows())
+        assert counts == {"red": 2, "blue": 2}
+
+    def test_agg(self, people):
+        oldest = dict(people.group_by("team").agg("age", max, "oldest").rows())
+        assert oldest == {"red": 41, "blue": 28}
+
+    def test_count_distinct(self, people):
+        distinct_ages = dict(people.group_by("team").count_distinct("age").rows())
+        assert distinct_ages == {"red": 2, "blue": 1}
+
+
+class TestJoin:
+    def test_inner_join(self, people):
+        cities = Table.from_rows(("team", "city"), [("red", "oslo"), ("blue", "porto")])
+        joined = people.join(cities, on="team")
+        assert len(joined) == 4
+        assert "city" in joined.columns
+
+    def test_join_drops_unmatched(self, people):
+        cities = Table.from_rows(("team", "city"), [("red", "oslo")])
+        assert len(people.join(cities, on="team")) == 2
+
+
+class TestSnapshotTables:
+    @pytest.fixture()
+    def snapshot(self):
+        snap = Snapshot()
+        snap.add_page(Page("www.a.com", ("cdn.a.com", "t.ads.net")))
+        snap.add_page(Page("b.pages.io", ("t.ads.net",)))
+        return snap
+
+    def test_requests_table(self, snapshot):
+        table = requests_table(snapshot)
+        assert len(table) == 3
+        assert table.columns == ("page_host", "request_host")
+
+    def test_hostnames_table(self, snapshot):
+        assert len(hostnames_table(snapshot)) == len(snapshot)
+
+    def test_declarative_figure5_matches_fast_path(self, snapshot, small_psl):
+        """Site counts via the query layer == via site_metrics."""
+        assignment = group_sites(small_psl, snapshot.hostnames)
+        table = sites_table(snapshot, assignment)
+        declarative = len(table.distinct("site"))
+        from repro.webgraph.sites import site_metrics
+
+        assert declarative == site_metrics(assignment).site_count
+
+    def test_declarative_figure6_matches_fast_path(self, snapshot, small_psl):
+        """Third-party counts via a join == via count_third_party."""
+        assignment = group_sites(small_psl, snapshot.hostnames)
+        sites = sites_table(snapshot, assignment)
+        requests = requests_table(snapshot)
+        page_sites = sites.select("hostname", "site")
+        joined = (
+            requests
+            .with_column("page_site", lambda r: assignment[r["page_host"]])
+            .with_column("request_site", lambda r: assignment[r["request_host"]])
+        )
+        declarative = len(
+            joined.where(lambda r: r["page_site"] != r["request_site"])
+        )
+        from repro.webgraph.thirdparty import count_third_party
+
+        assert declarative == count_third_party(assignment, snapshot)
+        assert page_sites.columns == ("hostname", "site")

@@ -1,0 +1,72 @@
+"""Tests for third-party request classification."""
+
+from repro.psl.diff import RuleDelta
+from repro.psl.rules import Rule
+from repro.webgraph.archive import Snapshot
+from repro.webgraph.records import Page
+from repro.webgraph.sites import IncrementalGrouper, group_sites
+from repro.webgraph.thirdparty import ThirdPartyCounter, count_third_party
+
+
+def _rules(*texts):
+    return [Rule.parse(text) for text in texts]
+
+
+def _snapshot():
+    snap = Snapshot()
+    snap.add_page(Page("www.shop.com", ("cdn.shop.com", "ads.tracker.com")))
+    snap.add_page(Page("a.pages.io", ("b.pages.io", "a.pages.io")))
+    return snap
+
+
+class TestOneShot:
+    def test_counts(self, small_psl):
+        snap = _snapshot()
+        assignment = group_sites(small_psl, snap.hostnames)
+        # cdn.shop.com first-party, ads.tracker.com third-party;
+        # pages.io unknown suffix -> a/b.pages.io same site (pages.io).
+        assert count_third_party(assignment, snap) == 1
+
+    def test_self_request_is_first_party(self, small_psl):
+        snap = Snapshot()
+        snap.add_page(Page("a.com", ("a.com",)))
+        assignment = group_sites(small_psl, snap.hostnames)
+        assert count_third_party(assignment, snap) == 0
+
+
+class TestIncremental:
+    def test_initial_count_matches_one_shot(self, small_psl):
+        snap = _snapshot()
+        assignment = group_sites(small_psl, snap.hostnames)
+        counter = ThirdPartyCounter(assignment, snap)
+        assert counter.count == count_third_party(assignment, snap)
+        assert counter.pair_count == snap.request_count
+
+    def test_update_after_rule_addition(self):
+        snap = _snapshot()
+        grouper = IncrementalGrouper(_rules("com", "io"), snap.hostnames)
+        counter = ThirdPartyCounter(grouper.assignment, snap)
+        before = counter.count  # a/b.pages.io same site -> 1 third-party (ads)
+        changed = grouper.apply(RuleDelta(frozenset(_rules("pages.io")), frozenset()))
+        after = counter.update(grouper.assignment, changed)
+        # The cross-tenant request b.pages.io is now third-party too.
+        assert after == before + 1
+
+    def test_update_is_consistent_with_recount(self):
+        snap = _snapshot()
+        grouper = IncrementalGrouper(_rules("com"), snap.hostnames)
+        counter = ThirdPartyCounter(grouper.assignment, snap)
+        for delta in (
+            RuleDelta(frozenset(_rules("io")), frozenset()),
+            RuleDelta(frozenset(_rules("pages.io")), frozenset()),
+            RuleDelta(frozenset(), frozenset(_rules("pages.io"))),
+        ):
+            changed = grouper.apply(delta)
+            counter.update(grouper.assignment, changed)
+            assert counter.count == count_third_party(grouper.assignment, snap)
+
+    def test_update_with_no_changes(self, small_psl):
+        snap = _snapshot()
+        assignment = group_sites(small_psl, snap.hostnames)
+        counter = ThirdPartyCounter(assignment, snap)
+        assert counter.update(assignment, []) == counter.count
