@@ -1,0 +1,17 @@
+# Developer entry points.  pytest's addopts carry `-m "not bench"`, so
+# plain `make test` never runs benchmarks; the bench targets override
+# the marker expression (the last `-m` on the command line wins).
+
+PYTHON ?= python
+export PYTHONPATH := src:.
+
+.PHONY: test bench bench-sweep
+
+test:  ## tier-1: the full fast suite
+	$(PYTHON) -m pytest -x -q
+
+bench:  ## all benchmarks (writes benchmarks/artifacts/)
+	$(PYTHON) -m pytest benchmarks -m bench -q -s
+
+bench-sweep:  ## just the sweep-engine perf gate
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_sweep.py -m bench -q -s

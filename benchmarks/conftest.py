@@ -28,6 +28,16 @@ BENCH_SEED = 20230701
 ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is ``bench``-marked.
+
+    Tier-1 (``pytest`` with the default ``-m "not bench"`` addopts)
+    never runs these; ``make bench`` selects them back in.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def save_artifact(name: str, text: str) -> None:
     """Persist a regenerated table/figure for inspection."""
     os.makedirs(ARTIFACT_DIR, exist_ok=True)

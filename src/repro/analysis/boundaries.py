@@ -9,14 +9,15 @@ One forward pass over the history drives all three figures at once:
 * **Figure 7** — the number of hostnames whose site differs from their
   site under the newest version.
 
-The pass is incremental (only hostnames under rules a delta touched
-are re-examined — see :class:`repro.webgraph.sites.IncrementalGrouper`),
-which is what makes evaluating all 1,142 versions against hundreds of
-thousands of hostnames take seconds instead of hours.  The per-version
-``diff_vs_latest`` record doubles as the lookup table for Table 3's
-"# of missing hostnames" column: a repository vendoring version *v*
-misclassifies exactly the hostnames that differ between *v* and the
-newest list.
+The pass is delta-driven (only hostnames under rules a delta touched
+are re-examined) and runs on the :class:`repro.sweep.SweepEngine`,
+which keeps one trie per worker across the whole history and can fan
+the universe out over a process pool — that is what makes evaluating
+all 1,142 versions against hundreds of thousands of hostnames take
+seconds instead of hours.  The per-version ``diff_vs_latest`` record
+doubles as the lookup table for Table 3's "# of missing hostnames"
+column: a repository vendoring version *v* misclassifies exactly the
+hostnames that differ between *v* and the newest list.
 """
 
 from __future__ import annotations
@@ -25,9 +26,8 @@ import datetime
 from dataclasses import dataclass
 
 from repro.history.store import VersionStore
+from repro.sweep import SweepEngine
 from repro.webgraph.archive import Snapshot
-from repro.webgraph.sites import IncrementalGrouper, group_sites
-from repro.webgraph.thirdparty import ThirdPartyCounter
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,51 +79,34 @@ class SweepResult:
         return [picked[year] for year in sorted(picked)]
 
 
-def run_sweep(store: VersionStore, snapshot: Snapshot) -> SweepResult:
-    """Evaluate the snapshot under every version of the history."""
-    hostnames = snapshot.hostnames
-    final_assignment = group_sites(store.checkout(-1), hostnames)
+def run_sweep(
+    store: VersionStore,
+    snapshot: Snapshot,
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> SweepResult:
+    """Evaluate the snapshot under every version of the history.
 
-    grouper = IncrementalGrouper(store.rules_at(0), hostnames)
-    third_party = ThirdPartyCounter(grouper.assignment, snapshot)
-    differs: dict[str, bool] = {
-        host: grouper.site_of(host) != final_assignment[host] for host in hostnames
-    }
-    diff_vs_latest = sum(differs.values())
-
-    first_version = store.version(0)
-    points: list[SweepPoint] = [
+    ``workers``/``chunk_size`` tune the underlying
+    :class:`~repro.sweep.SweepEngine` fan-out; the default is the
+    serial path, which produces bit-identical results to any parallel
+    configuration.
+    """
+    engine = SweepEngine(store, workers=workers, chunk_size=chunk_size)
+    series = engine.sweep(snapshot.hostnames, tuple(snapshot.iter_request_pairs()))
+    points = tuple(
         SweepPoint(
-            index=first_version.index,
-            date=first_version.date,
-            site_count=grouper.site_count,
-            third_party_requests=third_party.count,
-            diff_vs_latest=diff_vs_latest,
+            index=version.index,
+            date=version.date,
+            site_count=series.site_counts[position],
+            third_party_requests=series.third_party[position],
+            diff_vs_latest=series.divergence[position],
         )
-    ]
-
-    for version in store.versions[1:]:
-        changed = grouper.apply(version.delta)
-        if changed:
-            third_party.update(grouper.assignment, changed)
-            # Only hosts whose site changed can flip their
-            # differs-from-final status.
-            for host in changed:
-                now = grouper.site_of(host) != final_assignment[host]
-                if now != differs[host]:
-                    diff_vs_latest += 1 if now else -1
-                    differs[host] = now
-        points.append(
-            SweepPoint(
-                index=version.index,
-                date=version.date,
-                site_count=grouper.site_count,
-                third_party_requests=third_party.count,
-                diff_vs_latest=diff_vs_latest,
-            )
-        )
+        for position, version in enumerate(store.versions)
+    )
     return SweepResult(
-        points=tuple(points),
-        total_hostnames=len(hostnames),
+        points=points,
+        total_hostnames=len(snapshot.hostnames),
         total_requests=snapshot.request_count,
     )

@@ -25,11 +25,17 @@ from repro.analysis.context import ExperimentContext, figures_context, tables_co
 
 _SWEEP_CACHE: dict[int, boundaries.SweepResult] = {}
 
+# Worker count handed to the sweep engine; ``psl-repro --workers N``
+# sets it for the process.  Results are bit-identical at any value.
+_SWEEP_WORKERS = 1
+
 
 def _sweep_for(context: ExperimentContext) -> boundaries.SweepResult:
     key = id(context)
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = boundaries.run_sweep(context.store, context.snapshot)
+        _SWEEP_CACHE[key] = boundaries.run_sweep(
+            context.store, context.snapshot, workers=_SWEEP_WORKERS
+        )
     return _SWEEP_CACHE[key]
 
 
@@ -204,7 +210,17 @@ def main(argv: list[str] | None = None) -> int:
         help="which artifact to regenerate",
     )
     parser.add_argument("--seed", type=int, default=20230701, help="world seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the Figure 5-7 version sweep (1 = serial)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.workers < 1:
+        parser.error("--workers must be positive")
+    global _SWEEP_WORKERS
+    _SWEEP_WORKERS = arguments.workers
 
     if arguments.experiment == "list":
         for name in sorted(EXPERIMENTS):

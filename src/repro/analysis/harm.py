@@ -26,6 +26,7 @@ from repro.psl.rules import RuleKind
 from repro.psl.trie import SuffixTrie
 from repro.repos.dating import extract_rule_lines
 from repro.repos.model import Strategy
+from repro.webgraph.sites import reversed_labels_of
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,16 +73,16 @@ def suffix_populations(context: ExperimentContext) -> dict[str, int]:
     trie = SuffixTrie(context.store.rules_at(-1))
     populations: dict[str, int] = {}
     for host in context.snapshot.hostnames:
-        labels = tuple(host.split("."))
-        rule = trie.prevailing(tuple(reversed(labels)))
+        rlabels = reversed_labels_of(host)
+        rule = trie.prevailing(rlabels)
         if rule is None:
             length = 1
         elif rule.kind is RuleKind.EXCEPTION:
             length = rule.component_count - 1
         else:
             length = rule.component_count
-        suffix = ".".join(labels[len(labels) - length :])
-        if host != suffix:
+        if length < len(rlabels):
+            suffix = ".".join(rlabels[length - 1 :: -1])
             populations[suffix] = populations.get(suffix, 0) + 1
     return populations
 

@@ -28,6 +28,7 @@ from repro.analysis.context import ExperimentContext
 from repro.analysis.harm import HarmResult
 from repro.calibrate.suffixes import full_schedule
 from repro.data import paper
+from repro.webgraph.tables import sweep_table
 
 
 def export_repositories(context: ExperimentContext, harm: HarmResult, path: str) -> int:
@@ -87,17 +88,9 @@ def export_suffix_schedule(context: ExperimentContext, path: str) -> int:
 
 def export_sweep(sweep: SweepResult, path: str) -> int:
     """Write the per-version boundary series; returns the row count."""
-    with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(
-            ["version", "date", "sites", "third_party_requests", "hostnames_diff_vs_latest"]
-        )
-        for point in sweep.points:
-            writer.writerow(
-                [point.index, point.date.isoformat(), point.site_count,
-                 point.third_party_requests, point.diff_vs_latest]
-            )
-    return len(sweep.points)
+    table = sweep_table(sweep.points)
+    table.to_csv(path)
+    return len(table)
 
 
 def export_release(

@@ -7,6 +7,11 @@ load-bearing:
   ancestors, **but never to a public suffix** — otherwise
   ``Domain=co.uk`` would be readable by every UK company (the
   "supercookie" the paper mentions browsers filter);
+* nor to a domain with a public suffix strictly *below* it (an
+  unlisted parent of a listed suffix): RFC 6265 domain matching is
+  pure string suffixing, so such a cookie would be attached to
+  requests for the suffix host itself — state leaking across the
+  boundary the list defines;
 * host-only cookies (no ``Domain=``) match the exact host;
 * domain cookies match the domain and its subdomains.
 
@@ -80,6 +85,11 @@ class CookieJar:
                     cookie = Cookie(name=name, value=value, domain=host, host_only=True)
                     self._cookies[(cookie.domain, name, True)] = cookie
                     return cookie
+                raise SuperCookieError(scope)
+            if self._psl.any_suffix_below(scope):
+                # A suffix strictly below the scope means the scope is
+                # an unlisted parent; subdomain matching would carry
+                # the cookie into the suffix host's site.
                 raise SuperCookieError(scope)
             if host != scope and not host.endswith("." + scope):
                 raise ValueError(f"{request_host!r} cannot set a cookie for {domain!r}")

@@ -13,19 +13,66 @@ The ablation bench quantifies the win on snapshot-shaped workloads
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
 
 from repro.psl.list import PublicSuffixList, SuffixMatch
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LruDict(Generic[K, V]):
+    """A minimal bounded mapping with least-recently-used eviction.
+
+    Extracted from :class:`CachingMatcher` so every bounded memo in the
+    codebase (suffix-match caching here, the streaming third-party
+    memo in :mod:`repro.webgraph.stream`) shares one eviction
+    implementation.  ``None`` is not a valid stored value — ``get``
+    uses it as the miss sentinel, which keeps the hot path to a single
+    dictionary probe.
+    """
+
+    __slots__ = ("_data", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: OrderedDict[K, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K) -> V | None:
+        """The stored value, refreshed as most recent; None on a miss."""
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Store a value, evicting the least recently used past capacity."""
+        if value is None:
+            raise ValueError("LruDict cannot store None (it is the miss sentinel)")
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._data.clear()
 
 
 class CachingMatcher:
     """LRU-cached lookups over one immutable list."""
 
     def __init__(self, psl: PublicSuffixList, *, capacity: int = 10_000) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be positive")
         self._psl = psl
-        self._capacity = capacity
-        self._cache: OrderedDict[str, SuffixMatch] = OrderedDict()
+        self._cache: LruDict[str, SuffixMatch] = LruDict(capacity)
         self.hits = 0
         self.misses = 0
 
@@ -48,14 +95,11 @@ class CachingMatcher:
         """
         cached = self._cache.get(hostname)
         if cached is not None:
-            self._cache.move_to_end(hostname)
             self.hits += 1
             return cached
         self.misses += 1
         match = self._psl.match(hostname)
-        self._cache[hostname] = match
-        if len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
+        self._cache.put(hostname, match)
         return match
 
     def public_suffix(self, hostname: str) -> str:

@@ -238,6 +238,25 @@ class PublicSuffixList:
         match = self.match(hostname)
         return match.public_suffix == match.hostname
 
+    def any_suffix_below(self, hostname: str) -> bool:
+        """Whether any rule names a suffix strictly below ``hostname``.
+
+        On the live list every ancestor of a suffix is itself a suffix,
+        but nothing enforces that: a rule like ``s3.dualstack.region``
+        can exist while its parents stay unlisted — the unlisted-parent
+        anomaly the paper's taxonomy flags.  State scoped to such a
+        parent is readable by the suffix host, so the cookie jar treats
+        these domains like supercookies.
+
+        >>> psl = PublicSuffixList([Rule.parse('cdn.example.net')])
+        >>> psl.any_suffix_below('example.net')
+        True
+        >>> psl.any_suffix_below('cdn.example.net')
+        False
+        """
+        name = to_ascii(hostname.strip().rstrip(".").lower())
+        return self._trie.has_rule_below(tuple(reversed(name.split("."))))
+
     def same_site(self, first: str, second: str) -> bool:
         """Whether two hostnames fall inside the same privacy boundary.
 

@@ -14,9 +14,13 @@ and the subject of the lookup ablation benchmark (trie vs. naive scan).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from sys import intern
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.psl.rules import Rule, RuleKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (diff -> list -> trie)
+    from repro.psl.diff import RuleDelta
 
 WILDCARD_LABEL = "*"
 
@@ -51,10 +55,16 @@ class SuffixTrie:
         return self._size
 
     def insert(self, rule: Rule) -> None:
-        """Insert a rule; re-inserting an identical rule is a no-op."""
+        """Insert a rule; re-inserting an identical rule is a no-op.
+
+        Labels are interned on the way in: hostname labels interned by
+        the sweep engine's chunk preparation then hit the children
+        dictionaries with pointer-equal keys, which keeps the lookup
+        hot path on the fast identity compare.
+        """
         node = self._root
         for label in rule.labels:
-            node = node.child(label)
+            node = node.child(intern(label))
         if rule.kind is RuleKind.EXCEPTION:
             if node.exception_rule == rule:
                 return
@@ -71,9 +81,11 @@ class SuffixTrie:
     def remove(self, rule: Rule) -> bool:
         """Remove a rule if present; returns True when something was removed.
 
-        Empty interior nodes are left in place — removal happens only
-        during list-version replay where a fresh trie is built per epoch
-        anyway, so structural compaction is not worth its complexity.
+        Empty interior nodes are left in place: the delta-driven sweep
+        keeps one trie alive across a whole list history, and the node
+        count is bounded by the union of every rule the history ever
+        carried — small enough that structural compaction is not worth
+        its complexity.
         """
         node = self._root
         for label in rule.labels:
@@ -91,6 +103,44 @@ class SuffixTrie:
             node.rule = None
         self._size -= 1
         return True
+
+    def apply_delta(self, delta: "RuleDelta") -> None:
+        """Apply one version delta in place (removals first, then adds).
+
+        This is what lets a replay keep a single trie across an entire
+        list history instead of rebuilding per version: applying the
+        1,141 deltas of the paper's history costs a few thousand node
+        walks total, versus ~10k inserts per version rebuilt.  Order
+        within a delta is irrelevant — ``added`` and ``removed`` are
+        disjoint by :class:`~repro.psl.diff.RuleDelta`'s invariant.
+        """
+        for rule in delta.removed:
+            self.remove(rule)
+        for rule in delta.added:
+            self.insert(rule)
+
+    def has_rule_below(self, reversed_labels: Sequence[str]) -> bool:
+        """Whether any rule terminates strictly below this exact name.
+
+        Walks exact labels only (no wildcard expansion of the *query*):
+        a rule is "below" ``a.b`` when its name ends with ``.a.b`` —
+        including a wildcard child such as ``*.a.b``.  Used by the
+        cookie jar to refuse domains that contain a public suffix
+        beneath them, the unlisted-parent anomaly the paper studies.
+        """
+        node = self._root
+        for label in reversed_labels:
+            child = node.children.get(label)
+            if child is None:
+                return False
+            node = child
+        stack = list(node.children.values())
+        while stack:
+            below = stack.pop()
+            if below.rule is not None or below.exception_rule is not None:
+                return True
+            stack.extend(below.children.values())
+        return False
 
     def iter_rules(self) -> Iterator[Rule]:
         """Yield every stored rule in depth-first order."""

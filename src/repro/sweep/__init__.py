@@ -1,0 +1,26 @@
+"""Parallel delta-driven version sweeps (Figures 5-7 at scale).
+
+Public API:
+
+* :class:`~repro.sweep.engine.SweepEngine` — sweep a hostname/request
+  universe across a whole :class:`~repro.history.store.VersionStore`,
+  serially or over a process pool;
+* :class:`~repro.sweep.engine.SweepSeries` — the per-version series it
+  returns;
+* the chunking helpers in :mod:`repro.sweep.chunks` for callers that
+  manage their own pools.
+"""
+
+from repro.sweep.chunks import HostChunk, PairChunk, chunk_hosts, chunk_pairs, prepare_hosts
+from repro.sweep.engine import DEFAULT_CHUNK_SIZE, SweepEngine, SweepSeries
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "HostChunk",
+    "PairChunk",
+    "SweepEngine",
+    "SweepSeries",
+    "chunk_hosts",
+    "chunk_pairs",
+    "prepare_hosts",
+]

@@ -1,0 +1,85 @@
+"""Chunking the hostname and request universes for the sweep engine.
+
+The engine fans work out in *fixed-size* chunks: each worker receives
+one self-contained task (its slice of the universe plus the rule
+history) and returns a partial result the parent merges.  Chunks carry
+hostnames together with their labels pre-split, reversed, and interned
+— splitting is paid once per hostname for the whole sweep, and the
+interned labels hit the trie's children dictionaries with
+pointer-equal keys in every worker lookup.
+
+Partitioning is pure bookkeeping: every merge downstream is a
+commutative sum, so results are bit-identical for any chunk size and
+any worker count (the property tests pin this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.webgraph.sites import reversed_labels_of
+
+
+@dataclass(frozen=True, slots=True)
+class HostChunk:
+    """One fixed-size slice of the hostname universe.
+
+    ``entries`` pairs each hostname with its reversed, interned label
+    tuple so workers never re-split.
+    """
+
+    index: int
+    entries: tuple[tuple[str, tuple[str, ...]], ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class PairChunk:
+    """One fixed-size slice of the (page_host, request_host) universe."""
+
+    index: int
+    pairs: tuple[tuple[str, str], ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def prepare_hosts(hostnames: Iterable[str]) -> list[tuple[str, tuple[str, ...]]]:
+    """Deduplicate and pre-split a hostname universe, preserving order."""
+    prepared: dict[str, tuple[str, ...]] = {}
+    for host in hostnames:
+        if host not in prepared:
+            prepared[host] = reversed_labels_of(host)
+    return list(prepared.items())
+
+
+def chunk_hosts(
+    prepared: Sequence[tuple[str, tuple[str, ...]]], chunk_size: int
+) -> list[HostChunk]:
+    """Cut a prepared universe into fixed-size :class:`HostChunk` slices."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [
+        HostChunk(index=i // chunk_size, entries=tuple(prepared[i : i + chunk_size]))
+        for i in range(0, len(prepared), chunk_size)
+    ]
+
+
+def chunk_pairs(
+    pairs: Sequence[tuple[str, str]], chunk_size: int
+) -> list[PairChunk]:
+    """Cut a request-pair universe into fixed-size :class:`PairChunk` slices.
+
+    Pairs keep their multiplicity — every pair lands in exactly one
+    chunk, so summing per-chunk third-party counts yields the global
+    count.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [
+        PairChunk(index=i // chunk_size, pairs=tuple(pairs[i : i + chunk_size]))
+        for i in range(0, len(pairs), chunk_size)
+    ]

@@ -1,0 +1,140 @@
+"""Worker-side of the sweep engine: replay one chunk across a history.
+
+Each worker owns **one** :class:`~repro.psl.trie.SuffixTrie` (inside an
+:class:`~repro.webgraph.sites.IncrementalGrouper`) for the entire
+history and applies :class:`~repro.psl.diff.RuleDelta`\\ s in place —
+never rebuilding per version.  What travels back to the parent is
+deliberately small:
+
+* for a :class:`~repro.sweep.chunks.HostChunk` — the chunk's initial
+  site counter plus, per version, only the *changes* (a site-count
+  delta dict and a divergence delta), each proportional to the
+  hostnames a delta touched, not to the chunk;
+* for a :class:`~repro.sweep.chunks.PairChunk` — one third-party count
+  per version.
+
+Everything here is a module-level function operating on picklable
+dataclasses, which is what lets ``ProcessPoolExecutor`` ship tasks to
+forked workers; the serial path calls the same functions inline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence
+
+from repro.psl.diff import RuleDelta
+from repro.psl.rules import Rule
+from repro.psl.trie import SuffixTrie
+from repro.sweep.chunks import HostChunk, PairChunk
+from repro.webgraph.sites import IncrementalGrouper, site_for_reversed
+from repro.webgraph.thirdparty import ThirdPartyCounter
+
+
+@dataclass(frozen=True, slots=True)
+class HostTask:
+    """One host chunk plus the full rule history to replay over it.
+
+    ``baseline_rules`` being None disables divergence tracking;
+    ``track_sites`` disables the site counters (a divergence-only sweep
+    ships even less data back).
+    """
+
+    chunk: HostChunk
+    initial_rules: FrozenSet[Rule]
+    deltas: tuple[RuleDelta, ...]
+    baseline_rules: FrozenSet[Rule] | None
+    track_sites: bool
+
+
+@dataclass(frozen=True, slots=True)
+class HostPartial:
+    """What one host chunk contributes to the merged sweep."""
+
+    index: int
+    initial_sites: Counter
+    site_deltas: tuple[dict[str, int], ...]
+    initial_divergent: int
+    divergence_deltas: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PairTask:
+    """One request-pair chunk plus the rule history."""
+
+    chunk: PairChunk
+    initial_rules: FrozenSet[Rule]
+    deltas: tuple[RuleDelta, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PairPartial:
+    """Per-version third-party counts for one pair chunk."""
+
+    index: int
+    counts: tuple[int, ...]
+
+
+def run_host_chunk(task: HostTask) -> HostPartial:
+    """Replay the whole history over one host chunk."""
+    prepared = dict(task.chunk.entries)
+    grouper = IncrementalGrouper(task.initial_rules, (), prepared=prepared)
+
+    initial_sites = Counter(grouper.site_sizes) if task.track_sites else Counter()
+
+    baseline: dict[str, str] | None = None
+    initial_divergent = 0
+    if task.baseline_rules is not None:
+        baseline_trie = SuffixTrie(task.baseline_rules)
+        baseline = {
+            host: site_for_reversed(baseline_trie, rlabels)
+            for host, rlabels in task.chunk.entries
+        }
+        initial_divergent = sum(
+            1 for host, site in baseline.items() if grouper.site_of(host) != site
+        )
+
+    site_deltas: list[dict[str, int]] = []
+    divergence_deltas: list[int] = []
+    for delta in task.deltas:
+        changes = grouper.apply_detailed(delta)
+        counts: dict[str, int] = {}
+        diverged = 0
+        for host, old_site, new_site in changes:
+            if task.track_sites:
+                counts[old_site] = counts.get(old_site, 0) - 1
+                counts[new_site] = counts.get(new_site, 0) + 1
+            if baseline is not None:
+                final_site = baseline[host]
+                diverged += (new_site != final_site) - (old_site != final_site)
+        site_deltas.append({site: n for site, n in counts.items() if n})
+        divergence_deltas.append(diverged)
+
+    return HostPartial(
+        index=task.chunk.index,
+        initial_sites=initial_sites,
+        site_deltas=tuple(site_deltas),
+        initial_divergent=initial_divergent,
+        divergence_deltas=tuple(divergence_deltas),
+    )
+
+
+def run_pair_chunk(task: PairTask) -> PairPartial:
+    """Replay the whole history over one request-pair chunk.
+
+    The chunk tracks only the hostnames its own pairs mention; a host
+    appearing in several chunks is replayed by each of them, which
+    costs a little duplicated lookup work but keeps chunks fully
+    independent (no cross-worker assignment sharing).
+    """
+    hosts = sorted({host for pair in task.chunk.pairs for host in pair})
+    grouper = IncrementalGrouper(task.initial_rules, hosts)
+    counter = ThirdPartyCounter(grouper.assignment, task.chunk.pairs)
+    counts = [counter.count]
+    for delta in task.deltas:
+        changed = grouper.apply(delta)
+        if changed:
+            counter.update(grouper.assignment, changed)
+        counts.append(counter.count)
+    return PairPartial(index=task.chunk.index, counts=tuple(counts))

@@ -18,11 +18,17 @@ models that dataset and the operations over it:
 from repro.webgraph.archive import Snapshot
 from repro.webgraph.crawler import Crawler, Document, SyntheticWeb
 from repro.webgraph.records import Page
-from repro.webgraph.sites import IncrementalGrouper, group_sites, site_metrics
+from repro.webgraph.sites import (
+    IncrementalGrouper,
+    group_sites,
+    reversed_labels_of,
+    site_for_reversed,
+    site_metrics,
+)
 from repro.webgraph.stats import site_size_fit, snapshot_statistics
 from repro.webgraph.stream import count_sites_streaming, count_third_party_streaming
 from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
-from repro.webgraph.tables import Table, hostnames_table, requests_table
+from repro.webgraph.tables import Table, hostnames_table, requests_table, sweep_table
 from repro.webgraph.thirdparty import count_third_party
 
 __all__ = [
@@ -40,8 +46,11 @@ __all__ = [
     "group_sites",
     "hostnames_table",
     "requests_table",
+    "reversed_labels_of",
+    "site_for_reversed",
     "site_metrics",
     "site_size_fit",
     "snapshot_statistics",
+    "sweep_table",
     "synthesize_snapshot",
 ]

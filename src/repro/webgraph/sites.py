@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from sys import intern
+from typing import Iterable, Mapping, Sequence
 
 from repro.psl.diff import RuleDelta
 from repro.psl.list import PublicSuffixList
@@ -28,31 +29,60 @@ from repro.psl.rules import Rule, RuleKind
 from repro.psl.trie import SuffixTrie
 
 
-def site_for(trie: SuffixTrie, labels: tuple[str, ...]) -> str:
-    """The site (eTLD+1, or the bare suffix) for pre-split labels.
+def site_for_reversed(trie: SuffixTrie, reversed_labels: Sequence[str]) -> str:
+    """The site (eTLD+1, or the bare suffix) for reversed pre-split labels.
 
-    ``labels`` are the hostname's labels left to right.  This is the
-    hot loop of the whole reproduction, so it works on the raw trie
-    rather than the :class:`PublicSuffixList` facade (no IDNA pass, no
-    dataclass allocation).
+    ``reversed_labels`` are the hostname's labels TLD-first — the order
+    the trie walks anyway.  This is the hot loop of the whole
+    reproduction, so it works on the raw trie rather than the
+    :class:`PublicSuffixList` facade (no IDNA pass, no dataclass
+    allocation), and taking the labels already reversed lets callers
+    that replay many versions pay the split-and-reverse once per
+    hostname instead of once per lookup.
     """
-    rule = trie.prevailing(tuple(reversed(labels)))
+    rule = trie.prevailing(reversed_labels)
     if rule is None:
         suffix_length = 1
     elif rule.kind is RuleKind.EXCEPTION:
         suffix_length = rule.component_count - 1
     else:
         suffix_length = rule.component_count
-    start = len(labels) - suffix_length - 1
-    if start < 0:
-        start = 0
-    return ".".join(labels[start:])
+    take = suffix_length + 1
+    if take > len(reversed_labels):
+        take = len(reversed_labels)
+    return ".".join(reversed_labels[take - 1 :: -1])
+
+
+def site_for(trie: SuffixTrie, labels: tuple[str, ...]) -> str:
+    """The site for labels given left to right.
+
+    Convenience wrapper over :func:`site_for_reversed`; replay loops
+    should precompute reversed tuples and call that directly.
+    """
+    return site_for_reversed(trie, labels[::-1])
+
+
+def reversed_labels_of(hostname: str) -> tuple[str, ...]:
+    """A hostname's labels, reversed and interned.
+
+    Interning matches :meth:`SuffixTrie.insert`, so trie-child probes
+    during lookups compare pointer-equal keys.  The sweep engine ships
+    these tuples to its workers instead of raw hostnames.
+    """
+    labels = hostname.split(".")
+    labels.reverse()
+    return tuple(intern(label) for label in labels)
 
 
 def group_sites(psl: PublicSuffixList, hostnames: Iterable[str]) -> dict[str, str]:
     """Map each hostname to its site under one list version."""
     trie = SuffixTrie(psl.rules)
-    return {host: site_for(trie, tuple(host.split("."))) for host in hostnames}
+    out: dict[str, str] = {}
+    for host in hostnames:
+        reversed_labels = host.split(".")
+        reversed_labels.reverse()
+        out[host] = site_for_reversed(trie, reversed_labels)
+    return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,19 +125,34 @@ class IncrementalGrouper:
     that could plausibly be affected by the delta, not the universe.
     """
 
-    def __init__(self, rules: Iterable[Rule], hostnames: Iterable[str]) -> None:
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        hostnames: Iterable[str],
+        *,
+        prepared: Mapping[str, tuple[str, ...]] | None = None,
+    ) -> None:
         self._trie = SuffixTrie(rules)
-        self._labels: dict[str, tuple[str, ...]] = {
-            host: tuple(host.split(".")) for host in hostnames
-        }
+        # Reversed, interned label tuples — the representation every
+        # lookup wants.  ``prepared`` lets the sweep engine hand over
+        # tuples it already split once for the whole universe.
+        self._rlabels: dict[str, tuple[str, ...]] = (
+            dict(prepared)
+            if prepared is not None
+            else {host: reversed_labels_of(host) for host in hostnames}
+        )
         # Index: dotted suffix -> hostnames having that suffix.  A rule
         # change at base B re-examines exactly index[B].
         self._by_suffix: dict[str, list[str]] = {}
-        for host, labels in self._labels.items():
-            for start in range(len(labels)):
-                self._by_suffix.setdefault(".".join(labels[start:]), []).append(host)
+        for host, rlabels in self._rlabels.items():
+            name = rlabels[0]
+            self._by_suffix.setdefault(name, []).append(host)
+            for label in rlabels[1:]:
+                name = f"{label}.{name}"
+                self._by_suffix.setdefault(name, []).append(host)
         self._assignment: dict[str, str] = {
-            host: site_for(self._trie, labels) for host, labels in self._labels.items()
+            host: site_for_reversed(self._trie, rlabels)
+            for host, rlabels in self._rlabels.items()
         }
         self._site_sizes: Counter[str] = Counter(self._assignment.values())
 
@@ -126,6 +171,15 @@ class IncrementalGrouper:
         """Number of hostnames being tracked."""
         return len(self._assignment)
 
+    @property
+    def site_sizes(self) -> Mapping[str, int]:
+        """Live site -> hostname-count mapping (do not mutate).
+
+        The sweep engine's workers snapshot this as their per-chunk
+        partial counter at version zero.
+        """
+        return self._site_sizes
+
     def metrics(self) -> SiteMetrics:
         """Current :class:`SiteMetrics`."""
         return SiteMetrics(site_count=self.site_count, hostname_count=self.hostname_count)
@@ -136,18 +190,24 @@ class IncrementalGrouper:
 
     def apply(self, delta: RuleDelta) -> list[str]:
         """Apply a version delta; returns hostnames whose site changed."""
-        for rule in delta.removed:
-            self._trie.remove(rule)
-        for rule in delta.added:
-            self._trie.insert(rule)
+        return [host for host, _, _ in self.apply_detailed(delta)]
+
+    def apply_detailed(self, delta: RuleDelta) -> list[tuple[str, str, str]]:
+        """Apply a delta; returns ``(hostname, old site, new site)`` rows.
+
+        The detailed form is what the sweep engine's merge step needs:
+        old/new pairs convert directly into counter increments without
+        another round of lookups.
+        """
+        self._trie.apply_delta(delta)
 
         candidates: set[str] = set()
         for rule in delta.added | delta.removed:
             candidates.update(self._by_suffix.get(_rule_base(rule), ()))
 
-        changed: list[str] = []
+        changed: list[tuple[str, str, str]] = []
         for host in candidates:
-            new_site = site_for(self._trie, self._labels[host])
+            new_site = site_for_reversed(self._trie, self._rlabels[host])
             old_site = self._assignment[host]
             if new_site == old_site:
                 continue
@@ -156,5 +216,5 @@ class IncrementalGrouper:
             if self._site_sizes[old_site] == 0:
                 del self._site_sizes[old_site]
             self._site_sizes[new_site] += 1
-            changed.append(host)
+            changed.append((host, old_site, new_site))
         return changed

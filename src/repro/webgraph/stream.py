@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.psl.caching import LruDict
 from repro.psl.list import PublicSuffixList
 from repro.psl.trie import SuffixTrie
-from repro.webgraph.sites import site_for
+from repro.webgraph.sites import site_for_reversed
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,7 +46,9 @@ def count_sites_streaming(
     total = 0
     for host in hostnames:
         total += 1
-        site = site_for(trie, tuple(host.split(".")))
+        reversed_labels = host.split(".")
+        reversed_labels.reverse()
+        site = site_for_reversed(trie, reversed_labels)
         site_counts[site] = site_counts.get(site, 0) + 1
     return StreamedSiteCounts(
         hostnames=total,
@@ -55,22 +58,29 @@ def count_sites_streaming(
 
 
 def count_third_party_streaming(
-    psl: PublicSuffixList, request_pairs: Iterable[tuple[str, str]]
+    psl: PublicSuffixList,
+    request_pairs: Iterable[tuple[str, str]],
+    *,
+    memo_capacity: int = 65536,
 ) -> tuple[int, int]:
     """(third-party requests, total requests) over a request stream.
 
-    Per-host site lookups are memoized; memory is O(distinct hosts in
-    the stream's working set), with the memo evictable by the caller
-    simply by chunking the stream.
+    Per-host site lookups are memoized behind an LRU bounded at
+    ``memo_capacity`` entries, so memory really is O(working set) even
+    on adversarial streams that never repeat a hostname — an unbounded
+    memo would quietly grow to O(distinct hosts), defeating the point
+    of streaming.  Hosts evicted and seen again are simply recomputed.
     """
     trie = SuffixTrie(psl.rules)
-    memo: dict[str, str] = {}
+    memo: LruDict[str, str] = LruDict(memo_capacity)
 
     def site(host: str) -> str:
         cached = memo.get(host)
         if cached is None:
-            cached = site_for(trie, tuple(host.split(".")))
-            memo[host] = cached
+            reversed_labels = host.split(".")
+            reversed_labels.reverse()
+            cached = site_for_reversed(trie, reversed_labels)
+            memo.put(host, cached)
         return cached
 
     third = 0

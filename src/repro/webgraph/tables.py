@@ -199,3 +199,27 @@ def sites_table(snapshot: Snapshot, assignment: dict[str, str]) -> Table:
         ("hostname", "site"),
         ((host, assignment[host]) for host in snapshot.hostnames),
     )
+
+
+def sweep_table(points: Iterable[Any]) -> Table:
+    """The Figure 5/6/7 per-version series as a relational table.
+
+    ``points`` is any iterable of sweep points (duck-typed on the
+    attributes of :class:`repro.analysis.boundaries.SweepPoint`, which
+    this layer cannot import — dependencies point strictly downward).
+    Column names match the artifact-release CSV schema, so
+    ``sweep_table(sweep.points).to_csv(path)`` *is* the export.
+    """
+    return Table.from_rows(
+        ("version", "date", "sites", "third_party_requests", "hostnames_diff_vs_latest"),
+        (
+            (
+                point.index,
+                point.date.isoformat(),
+                point.site_count,
+                point.third_party_requests,
+                point.diff_vs_latest,
+            )
+            for point in points
+        ),
+    )

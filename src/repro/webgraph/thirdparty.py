@@ -31,10 +31,19 @@ class ThirdPartyCounter:
     Pairs are indexed by both endpoints; when the incremental grouper
     reports changed hostnames, only pairs touching those hosts are
     re-evaluated.
+
+    ``pairs`` may be a :class:`Snapshot` or any iterable of
+    ``(page_host, request_host)`` tuples — the sweep engine's workers
+    feed it chunks of the request universe directly.
     """
 
-    def __init__(self, assignment: Mapping[str, str], snapshot: Snapshot) -> None:
-        self._pairs: list[tuple[str, str]] = list(snapshot.iter_request_pairs())
+    def __init__(
+        self,
+        assignment: Mapping[str, str],
+        pairs: "Snapshot | Iterable[tuple[str, str]]",
+    ) -> None:
+        source = pairs.iter_request_pairs() if isinstance(pairs, Snapshot) else pairs
+        self._pairs: list[tuple[str, str]] = list(source)
         self._by_host: dict[str, list[int]] = {}
         for index, (page_host, request_host) in enumerate(self._pairs):
             self._by_host.setdefault(page_host, []).append(index)
