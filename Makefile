@@ -5,13 +5,19 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-sweep
+.PHONY: test test-faults bench bench-sweep bench-runtime
 
 test:  ## tier-1: the full fast suite
 	$(PYTHON) -m pytest -x -q
+
+test-faults:  ## the fault-injection suite (runtime resilience + misuse modes)
+	$(PYTHON) -m pytest tests/test_runtime_resilience.py tests/test_failure_injection.py -q
 
 bench:  ## all benchmarks (writes benchmarks/artifacts/)
 	$(PYTHON) -m pytest benchmarks -m bench -q -s
 
 bench-sweep:  ## just the sweep-engine perf gate
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_sweep.py -m bench -q -s
+
+bench-runtime:  ## the resilient-runtime overhead gate (<10% on fault-free sweeps)
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_runtime.py -m bench -q -s

@@ -26,7 +26,8 @@ import datetime
 from dataclasses import dataclass
 
 from repro.history.store import VersionStore
-from repro.sweep import SweepEngine
+from repro.runtime import FaultPlan, RetryPolicy
+from repro.sweep import SweepEngine, SweepFailureReport
 from repro.webgraph.archive import Snapshot
 
 
@@ -48,6 +49,9 @@ class SweepResult:
     points: tuple[SweepPoint, ...]
     total_hostnames: int
     total_requests: int
+    #: Resilience outcome of the underlying engine run; ``degraded``
+    #: means quarantined chunks were excluded from every series here.
+    failure_report: SweepFailureReport | None = None
 
     @property
     def first(self) -> SweepPoint:
@@ -85,15 +89,31 @@ def run_sweep(
     *,
     workers: int = 1,
     chunk_size: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = True,
+    resilience: RetryPolicy | None = RetryPolicy(),
+    fault_plan: FaultPlan | None = None,
 ) -> SweepResult:
     """Evaluate the snapshot under every version of the history.
 
     ``workers``/``chunk_size`` tune the underlying
     :class:`~repro.sweep.SweepEngine` fan-out; the default is the
     serial path, which produces bit-identical results to any parallel
-    configuration.
+    configuration.  ``checkpoint_dir`` spills completed chunks so a
+    killed sweep re-run with ``resume=True`` restarts from the last
+    completed chunk; the returned result carries the engine's
+    :class:`~repro.sweep.SweepFailureReport` so callers can detect a
+    degraded (quarantined-chunk) run.
     """
-    engine = SweepEngine(store, workers=workers, chunk_size=chunk_size)
+    engine = SweepEngine(
+        store,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        resilience=resilience,
+        fault_plan=fault_plan,
+    )
     series = engine.sweep(snapshot.hostnames, tuple(snapshot.iter_request_pairs()))
     points = tuple(
         SweepPoint(
@@ -109,4 +129,5 @@ def run_sweep(
         points=points,
         total_hostnames=len(snapshot.hostnames),
         total_requests=snapshot.request_count,
+        failure_report=engine.last_failure_report,
     )

@@ -25,18 +25,61 @@ from repro.analysis.context import ExperimentContext, figures_context, tables_co
 
 _SWEEP_CACHE: dict[int, boundaries.SweepResult] = {}
 
-# Worker count handed to the sweep engine; ``psl-repro --workers N``
-# sets it for the process.  Results are bit-identical at any value.
+# Sweep-engine knobs set per process by ``psl-repro`` flags:
+# ``--workers`` (results are bit-identical at any value),
+# ``--checkpoint-dir`` (chunk-granular spill directory), and
+# ``--resume`` (reuse spills from a killed run instead of clearing).
 _SWEEP_WORKERS = 1
+_SWEEP_CHECKPOINT_DIR: str | None = None
+_SWEEP_RESUME = False
+
+#: Exit status when a sweep completed degraded (quarantined chunks).
+EXIT_DEGRADED = 3
 
 
 def _sweep_for(context: ExperimentContext) -> boundaries.SweepResult:
     key = id(context)
     if key not in _SWEEP_CACHE:
         _SWEEP_CACHE[key] = boundaries.run_sweep(
-            context.store, context.snapshot, workers=_SWEEP_WORKERS
+            context.store,
+            context.snapshot,
+            workers=_SWEEP_WORKERS,
+            checkpoint_dir=_SWEEP_CHECKPOINT_DIR,
+            resume=_SWEEP_RESUME,
         )
     return _SWEEP_CACHE[key]
+
+
+def _diagnose_degraded(results: list[boundaries.SweepResult]) -> str | None:
+    """One-line diagnosis when any sweep ran degraded, else None.
+
+    Persists the full failure report as JSON (next to the checkpoints
+    when ``--checkpoint-dir`` was given, else in the working directory)
+    so the quarantined chunk identities survive the process.
+    """
+    import json
+    import os
+
+    degraded = [
+        result.failure_report
+        for result in results
+        if result.failure_report is not None and result.failure_report.degraded
+    ]
+    if not degraded:
+        return None
+    payload = {"sweeps": [report.to_json() for report in degraded]}
+    directory = _SWEEP_CHECKPOINT_DIR or "."
+    path = os.path.join(directory, "sweep_failure_report.json")
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    except OSError:
+        path = "<unwritable>"
+    chunk_ids = sorted({chunk for report in degraded for chunk in report.quarantined_chunks})
+    return (
+        f"sweep degraded: quarantined chunks [{', '.join(chunk_ids)}] "
+        f"excluded from the series; failure report at {path}"
+    )
 
 
 def run_fig2(seed: int) -> str:
@@ -216,22 +259,47 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="process count for the Figure 5-7 version sweep (1 = serial)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="spill completed sweep chunks here so a killed run can resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse checkpoints from a previous run in --checkpoint-dir",
+    )
     arguments = parser.parse_args(argv)
     if arguments.workers < 1:
         parser.error("--workers must be positive")
-    global _SWEEP_WORKERS
+    if arguments.resume and arguments.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    global _SWEEP_WORKERS, _SWEEP_CHECKPOINT_DIR, _SWEEP_RESUME
     _SWEEP_WORKERS = arguments.workers
+    _SWEEP_CHECKPOINT_DIR = arguments.checkpoint_dir
+    _SWEEP_RESUME = arguments.resume
 
     if arguments.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:6s} {EXPERIMENTS[name][0]}")
         return 0
 
+    cached_before = set(_SWEEP_CACHE)
     names = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for position, name in enumerate(names):
         if position:
             print("\n" + "=" * 72 + "\n")
         print(EXPERIMENTS[name][1](arguments.seed))
+
+    # A degraded sweep must not masquerade as a clean run: diagnose the
+    # sweeps this invocation produced and exit nonzero.
+    produced = [
+        result for key, result in _SWEEP_CACHE.items() if key not in cached_before
+    ]
+    diagnosis = _diagnose_degraded(produced)
+    if diagnosis is not None:
+        print(diagnosis, file=sys.stderr)
+        return EXIT_DEGRADED
     return 0
 
 

@@ -12,13 +12,19 @@ Public API:
 """
 
 from repro.sweep.chunks import HostChunk, PairChunk, chunk_hosts, chunk_pairs, prepare_hosts
-from repro.sweep.engine import DEFAULT_CHUNK_SIZE, SweepEngine, SweepSeries
+from repro.sweep.engine import (
+    DEFAULT_CHUNK_SIZE,
+    SweepEngine,
+    SweepFailureReport,
+    SweepSeries,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "HostChunk",
     "PairChunk",
     "SweepEngine",
+    "SweepFailureReport",
     "SweepSeries",
     "chunk_hosts",
     "chunk_pairs",

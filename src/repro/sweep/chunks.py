@@ -35,6 +35,12 @@ class HostChunk:
     def __len__(self) -> int:
         return len(self.entries)
 
+    @property
+    def task_id(self) -> str:
+        """Stable identity for the runtime layer (retry bookkeeping,
+        checkpoint file names, quarantine reports)."""
+        return f"host-{self.index}"
+
 
 @dataclass(frozen=True, slots=True)
 class PairChunk:
@@ -45,6 +51,11 @@ class PairChunk:
 
     def __len__(self) -> int:
         return len(self.pairs)
+
+    @property
+    def task_id(self) -> str:
+        """Stable identity for the runtime layer."""
+        return f"pair-{self.index}"
 
 
 def prepare_hosts(hostnames: Iterable[str]) -> list[tuple[str, tuple[str, ...]]]:

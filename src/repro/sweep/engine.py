@@ -24,22 +24,42 @@ and splits both terms across a worker pool:
 through the same merge, which is what the property tests cross-check
 against :func:`~repro.webgraph.sites.group_sites` and
 :class:`~repro.webgraph.sites.IncrementalGrouper`.
+
+Chunk execution runs on :mod:`repro.runtime` — the resilient layer
+that retries crashed workers, rebuilds a broken pool, quarantines
+poisoned chunks after a final serial attempt, and (given
+``checkpoint_dir``) spills each completed partial so a killed sweep
+resumes from the last completed chunk.  A fault-free run remains
+bit-identical to ``workers=1``; a degraded run excludes exactly the
+chunks enumerated in its :class:`SweepFailureReport`.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.history.store import VersionStore
+from repro.runtime import (
+    CheckpointStore,
+    ExecutionReport,
+    FaultPlan,
+    ResilientExecutor,
+    RetryPolicy,
+    TaskFailure,
+    merge_reports,
+)
 from repro.sweep.chunks import chunk_hosts, chunk_pairs, prepare_hosts
 from repro.sweep.workers import (
     HostPartial,
     HostTask,
     PairPartial,
     PairTask,
+    is_valid_host_partial,
+    is_valid_pair_partial,
     run_host_chunk,
     run_pair_chunk,
 )
@@ -48,6 +68,63 @@ DEFAULT_CHUNK_SIZE = 4096
 
 _Task = TypeVar("_Task")
 _Partial = TypeVar("_Partial")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepFailureReport:
+    """What a sweep survived: quarantines, retries, resume accounting.
+
+    ``degraded`` sweeps produced a series, but one computed over a
+    universe missing the quarantined chunks listed here — callers that
+    publish numbers must surface that (the CLI exits nonzero with this
+    report's :meth:`summary`).
+    """
+
+    quarantined_chunks: tuple[str, ...]
+    failures: tuple[TaskFailure, ...]
+    retried_chunks: tuple[str, ...]
+    resumed_chunks: int
+    executed_chunks: int
+    total_chunks: int
+    pool_rebuilds: int
+    quarantined_hostnames: int
+    quarantined_pairs: int
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined_chunks)
+
+    def summary(self) -> str:
+        """One line fit for a terminal diagnosis."""
+        if not self.degraded:
+            return (
+                f"sweep clean: {self.total_chunks} chunks "
+                f"({self.resumed_chunks} resumed, {len(self.retried_chunks)} retried, "
+                f"{self.pool_rebuilds} pool rebuilds)"
+            )
+        return (
+            f"sweep degraded: quarantined {', '.join(self.quarantined_chunks)} "
+            f"({self.quarantined_hostnames} hostnames, {self.quarantined_pairs} "
+            f"request pairs excluded) after {self.pool_rebuilds} pool rebuilds"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-serializable dump for the persisted failure report."""
+        return {
+            "degraded": self.degraded,
+            "quarantined_chunks": list(self.quarantined_chunks),
+            "failures": [
+                {"task_id": f.task_id, "attempts": f.attempts, "error": f.error}
+                for f in self.failures
+            ],
+            "retried_chunks": list(self.retried_chunks),
+            "resumed_chunks": self.resumed_chunks,
+            "executed_chunks": self.executed_chunks,
+            "total_chunks": self.total_chunks,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined_hostnames": self.quarantined_hostnames,
+            "quarantined_pairs": self.quarantined_pairs,
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +161,16 @@ class SweepEngine:
         Hostnames (or request pairs) per worker task; ``None`` picks
         :data:`DEFAULT_CHUNK_SIZE`, shrunk so a parallel run has at
         least ``4 x workers`` chunks to balance.
+    resilience:
+        The :class:`~repro.runtime.RetryPolicy` handed to the task
+        runtime; ``None`` bypasses the runtime entirely (raw pool, the
+        pre-resilience behaviour — the overhead benchmark's baseline).
+    checkpoint_dir:
+        Spill directory for chunk-granular checkpoints; a killed sweep
+        re-run with the same directory resumes from the last completed
+        chunk.  ``resume=False`` clears any prior spills first.
+    fault_plan:
+        Deterministic fault injection (tests only).
     """
 
     def __init__(
@@ -92,6 +179,10 @@ class SweepEngine:
         *,
         workers: int = 1,
         chunk_size: int | None = None,
+        resilience: RetryPolicy | None = RetryPolicy(),
+        checkpoint_dir: str | None = None,
+        resume: bool = True,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if len(store) == 0:
             raise ValueError("cannot sweep an empty history")
@@ -99,15 +190,28 @@ class SweepEngine:
             raise ValueError("workers must be positive")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if resilience is None and (checkpoint_dir is not None or fault_plan is not None):
+            raise ValueError("checkpointing and fault injection require the runtime layer")
         self._store = store
         self._workers = workers
         self._chunk_size = chunk_size
+        self._resilience = resilience
+        self._checkpoint_dir = checkpoint_dir
+        self._resume = resume
+        self._fault_plan = fault_plan
+        self._last_failure_report: SweepFailureReport | None = None
         self._initial_rules = store.rules_at(0)
         self._deltas = tuple(version.delta for version in store.versions[1:])
 
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def last_failure_report(self) -> SweepFailureReport | None:
+        """The resilience outcome of the most recent :meth:`sweep`
+        (None before any sweep, or when the runtime is bypassed)."""
+        return self._last_failure_report
 
     @property
     def version_count(self) -> int:
@@ -124,19 +228,110 @@ class SweepEngine:
             size = max(1, min(size, balanced))
         return size
 
-    def _run_tasks(
+    def _run_tasks_raw(
         self, function: Callable[[_Task], _Partial], tasks: Sequence[_Task]
     ) -> list[_Partial]:
-        """Run chunk tasks, serially or on the pool; order-preserving.
+        """The bypass path (``resilience=None``): a bare pool, no retry
+        machinery — kept as the overhead benchmark's baseline.
 
         The serial fallback is *the same* task list through the same
         function — parallelism changes only where the work executes.
+        An empty task list short-circuits before pool construction
+        (``max_workers=0`` would raise).
         """
+        if not tasks:
+            return []
         if self._workers == 1 or len(tasks) <= 1:
             return [function(task) for task in tasks]
         with ProcessPoolExecutor(max_workers=min(self._workers, len(tasks))) as pool:
             futures = [pool.submit(function, task) for task in tasks]
             return [future.result() for future in futures]
+
+    def _sweep_fingerprint(
+        self,
+        prepared: Sequence[tuple[str, tuple[str, ...]]],
+        pairs: Sequence[tuple[str, str]],
+        host_chunk: int,
+        pair_chunk: int,
+        sites: bool,
+        divergence: bool,
+        baseline_index: int,
+    ) -> str:
+        """Identity of one sweep's inputs and chunking.
+
+        Checkpoints are only reusable when replaying them is guaranteed
+        bit-identical, so the fingerprint covers the history tip, the
+        exact universes, the chunk boundaries, and the series flags.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(
+            (
+                f"sweep-v1|versions={self.version_count}"
+                f"|tip={self._store.latest.set_digest}"
+                f"|hosts={host_chunk}|pairs={pair_chunk}"
+                f"|sites={sites}|div={divergence}|base={baseline_index}|"
+            ).encode("utf-8")
+        )
+        for host, _labels in prepared:
+            hasher.update(host.encode("utf-8", "surrogatepass"))
+            hasher.update(b"\n")
+        hasher.update(b"|pairs|")
+        for page_host, request_host in pairs:
+            hasher.update(f"{page_host} {request_host}\n".encode("utf-8", "surrogatepass"))
+        return hasher.hexdigest()
+
+    def _run_resilient(
+        self,
+        host_tasks: Sequence[HostTask],
+        pair_tasks: Sequence[PairTask],
+        fingerprint: str,
+    ) -> tuple[list[HostPartial | None], list[PairPartial | None], ExecutionReport]:
+        """Run both task families on the resilient runtime."""
+        checkpoint = None
+        if self._checkpoint_dir is not None:
+            checkpoint = CheckpointStore(self._checkpoint_dir)
+            checkpoint.reconcile(fingerprint, resume=self._resume)
+        executor = ResilientExecutor(
+            workers=self._workers,
+            policy=self._resilience,
+            checkpoint=checkpoint,
+            fault_plan=self._fault_plan,
+        )
+        delta_count = len(self._deltas)
+        host_partials, host_report = executor.run(
+            run_host_chunk,
+            host_tasks,
+            task_ids=[task.chunk.task_id for task in host_tasks],
+            validate=lambda partial: is_valid_host_partial(partial, delta_count),
+        )
+        pair_partials, pair_report = executor.run(
+            run_pair_chunk,
+            pair_tasks,
+            task_ids=[task.chunk.task_id for task in pair_tasks],
+            validate=lambda partial: is_valid_pair_partial(partial, self.version_count),
+        )
+        return host_partials, pair_partials, merge_reports(host_report, pair_report)
+
+    def _failure_report(
+        self,
+        report: ExecutionReport,
+        host_tasks: Sequence[HostTask],
+        pair_tasks: Sequence[PairTask],
+    ) -> SweepFailureReport:
+        sizes = {task.chunk.task_id: len(task.chunk) for task in host_tasks}
+        pair_sizes = {task.chunk.task_id: len(task.chunk) for task in pair_tasks}
+        quarantined = report.quarantined_ids
+        return SweepFailureReport(
+            quarantined_chunks=quarantined,
+            failures=report.quarantined,
+            retried_chunks=report.retried,
+            resumed_chunks=report.resumed,
+            executed_chunks=report.executed,
+            total_chunks=report.total,
+            pool_rebuilds=report.pool_rebuilds,
+            quarantined_hostnames=sum(sizes.get(task_id, 0) for task_id in quarantined),
+            quarantined_pairs=sum(pair_sizes.get(task_id, 0) for task_id in quarantined),
+        )
 
     # -- the combined sweep --------------------------------------------------
 
@@ -161,6 +356,8 @@ class SweepEngine:
             self._store.rules_at(baseline_index) if (divergence and prepared) else None
         )
 
+        host_chunk_size = self._effective_chunk_size(len(prepared))
+        pair_chunk_size = self._effective_chunk_size(len(pairs))
         host_tasks = [
             HostTask(
                 chunk=chunk,
@@ -169,15 +366,33 @@ class SweepEngine:
                 baseline_rules=baseline_rules,
                 track_sites=sites,
             )
-            for chunk in chunk_hosts(prepared, self._effective_chunk_size(len(prepared)))
+            for chunk in chunk_hosts(prepared, host_chunk_size)
         ]
         pair_tasks = [
             PairTask(chunk=chunk, initial_rules=self._initial_rules, deltas=self._deltas)
-            for chunk in chunk_pairs(pairs, self._effective_chunk_size(len(pairs)))
+            for chunk in chunk_pairs(pairs, pair_chunk_size)
         ]
 
-        host_partials = self._run_tasks(run_host_chunk, host_tasks)
-        pair_partials = self._run_tasks(run_pair_chunk, pair_tasks)
+        if self._resilience is None:
+            host_partials = self._run_tasks_raw(run_host_chunk, host_tasks)
+            pair_partials = self._run_tasks_raw(run_pair_chunk, pair_tasks)
+            self._last_failure_report = None
+        else:
+            fingerprint = ""
+            if self._checkpoint_dir is not None:
+                fingerprint = self._sweep_fingerprint(
+                    prepared, pairs, host_chunk_size, pair_chunk_size,
+                    sites, divergence, baseline_index,
+                )
+            maybe_hosts, maybe_pairs, report = self._run_resilient(
+                host_tasks, pair_tasks, fingerprint
+            )
+            # Quarantined chunks leave None slots; the merges fold the
+            # survivors in original chunk order, so a clean run stays
+            # bit-identical to the serial path.
+            host_partials = [partial for partial in maybe_hosts if partial is not None]
+            pair_partials = [partial for partial in maybe_pairs if partial is not None]
+            self._last_failure_report = self._failure_report(report, host_tasks, pair_tasks)
 
         return SweepSeries(
             site_counts=self._merge_sites(host_partials) if sites else self._zeros(),

@@ -120,6 +120,26 @@ def run_host_chunk(task: HostTask) -> HostPartial:
     )
 
 
+def is_valid_host_partial(partial: object, delta_count: int) -> bool:
+    """Shape check the runtime uses to reject corrupt host partials.
+
+    A partial that survived pickling but lost its per-version structure
+    (wrong type, truncated delta tuples) would silently skew the merge;
+    validation turns it into a retryable failure instead.
+    """
+    return (
+        isinstance(partial, HostPartial)
+        and isinstance(partial.initial_sites, Counter)
+        and len(partial.site_deltas) == delta_count
+        and len(partial.divergence_deltas) == delta_count
+    )
+
+
+def is_valid_pair_partial(partial: object, version_count: int) -> bool:
+    """Shape check for pair partials: one count per version."""
+    return isinstance(partial, PairPartial) and len(partial.counts) == version_count
+
+
 def run_pair_chunk(task: PairTask) -> PairPartial:
     """Replay the whole history over one request-pair chunk.
 

@@ -26,7 +26,12 @@ from repro.webgraph.sites import (
     site_metrics,
 )
 from repro.webgraph.stats import site_size_fit, snapshot_statistics
-from repro.webgraph.stream import count_sites_streaming, count_third_party_streaming
+from repro.webgraph.stream import (
+    StreamedSiteCounts,
+    StreamedThirdPartyCounts,
+    count_sites_streaming,
+    count_third_party_streaming,
+)
 from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
 from repro.webgraph.tables import Table, hostnames_table, requests_table, sweep_table
 from repro.webgraph.thirdparty import count_third_party
@@ -38,6 +43,8 @@ __all__ = [
     "Page",
     "Snapshot",
     "SnapshotConfig",
+    "StreamedSiteCounts",
+    "StreamedThirdPartyCounts",
     "SyntheticWeb",
     "Table",
     "count_sites_streaming",

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.psl.caching import LruDict
+from repro.psl.errors import PslError
+from repro.psl.idna import to_ascii
 from repro.psl.list import PublicSuffixList
 from repro.psl.trie import SuffixTrie
 from repro.webgraph.sites import site_for_reversed
@@ -24,11 +26,60 @@ from repro.webgraph.sites import site_for_reversed
 
 @dataclass(frozen=True, slots=True)
 class StreamedSiteCounts:
-    """The counter-only outcome of one streaming pass."""
+    """The counter-only outcome of one streaming pass.
+
+    ``skipped`` counts records the pass dropped as malformed (empty
+    labels, embedded whitespace, non-IDNA-encodable names) — real crawl
+    streams contain them, and a single bad row must degrade the counts
+    by one line in this field, never sink the whole pass.
+    """
 
     hostnames: int
     sites: int
     largest_site: int
+    skipped: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class StreamedThirdPartyCounts:
+    """Third-party accounting over a request stream.
+
+    Iterates as ``(third_party, total)`` so the historical tuple
+    unpacking keeps working; ``skipped`` is the count of request pairs
+    dropped because either endpoint was malformed.
+    """
+
+    third_party: int
+    total: int
+    skipped: int = 0
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.third_party
+        yield self.total
+
+
+def _reversed_labels_or_none(host: object) -> list[str] | None:
+    """Reversed labels of a streamed hostname, or None for garbage.
+
+    Streams come from real crawl exports, which contain rows no browser
+    would emit: empty strings, names with empty labels or embedded
+    whitespace, and non-ASCII names that IDNA cannot encode.  Those are
+    the caller's ``skipped`` bucket; everything else passes through
+    verbatim so results stay identical to the in-memory path.
+    """
+    if not isinstance(host, str) or not host:
+        return None
+    if not host.isascii():
+        try:
+            to_ascii(host)  # validate IDNA-encodability only
+        except (PslError, UnicodeError):
+            return None
+    labels = host.split(".")
+    for label in labels:
+        if not label or any(ch.isspace() for ch in label):
+            return None
+    labels.reverse()
+    return labels
 
 
 def count_sites_streaming(
@@ -39,21 +90,26 @@ def count_sites_streaming(
     Memory use is one site-key set plus a per-site counter — O(sites),
     independent of how hostnames arrive.  (Site keys are inherently
     the output, so they cannot be streamed away; what is saved is the
-    hostname universe and the per-host assignment.)
+    hostname universe and the per-host assignment.)  Malformed rows are
+    counted into ``skipped`` instead of raising mid-stream.
     """
     trie = SuffixTrie(psl.rules)
     site_counts: dict[str, int] = {}
     total = 0
+    skipped = 0
     for host in hostnames:
+        reversed_labels = _reversed_labels_or_none(host)
+        if reversed_labels is None:
+            skipped += 1
+            continue
         total += 1
-        reversed_labels = host.split(".")
-        reversed_labels.reverse()
         site = site_for_reversed(trie, reversed_labels)
         site_counts[site] = site_counts.get(site, 0) + 1
     return StreamedSiteCounts(
         hostnames=total,
         sites=len(site_counts),
         largest_site=max(site_counts.values(), default=0),
+        skipped=skipped,
     )
 
 
@@ -62,34 +118,42 @@ def count_third_party_streaming(
     request_pairs: Iterable[tuple[str, str]],
     *,
     memo_capacity: int = 65536,
-) -> tuple[int, int]:
-    """(third-party requests, total requests) over a request stream.
+) -> StreamedThirdPartyCounts:
+    """Third-party vs. total requests over a request stream.
 
     Per-host site lookups are memoized behind an LRU bounded at
     ``memo_capacity`` entries, so memory really is O(working set) even
     on adversarial streams that never repeat a hostname — an unbounded
     memo would quietly grow to O(distinct hosts), defeating the point
     of streaming.  Hosts evicted and seen again are simply recomputed.
+    A pair with a malformed endpoint lands in ``skipped`` rather than
+    raising; the return value still unpacks as ``(third, total)``.
     """
     trie = SuffixTrie(psl.rules)
     memo: LruDict[str, str] = LruDict(memo_capacity)
+    invalid = "\0invalid"  # impossible site string, the memo's None-proof marker
 
     def site(host: str) -> str:
         cached = memo.get(host)
         if cached is None:
-            reversed_labels = host.split(".")
-            reversed_labels.reverse()
-            cached = site_for_reversed(trie, reversed_labels)
+            reversed_labels = _reversed_labels_or_none(host)
+            cached = invalid if reversed_labels is None else site_for_reversed(trie, reversed_labels)
             memo.put(host, cached)
         return cached
 
     third = 0
     total = 0
+    skipped = 0
     for page_host, request_host in request_pairs:
+        page_site = site(page_host)
+        request_site = site(request_host)
+        if page_site is invalid or request_site is invalid:
+            skipped += 1
+            continue
         total += 1
-        if site(page_host) != site(request_host):
+        if page_site != request_site:
             third += 1
-    return third, total
+    return StreamedThirdPartyCounts(third_party=third, total=total, skipped=skipped)
 
 
 def iter_hostnames_from_jsonl(path: str) -> Iterator[str]:

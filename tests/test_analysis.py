@@ -140,3 +140,44 @@ class TestCli:
     def test_fig2_runs(self, capsys):
         assert main(["fig2"]) == 0
         assert "Figure 2" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--resume"])
+
+    def test_degraded_sweep_exits_nonzero_with_diagnosis(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A quarantined-chunk sweep must not print tables and exit 0."""
+        from repro.analysis import cli
+        from repro.analysis.boundaries import SweepResult
+        from repro.sweep import SweepFailureReport
+
+        report_obj = SweepFailureReport(
+            quarantined_chunks=("host-7",),
+            failures=(),
+            retried_chunks=(),
+            resumed_chunks=0,
+            executed_chunks=8,
+            total_chunks=8,
+            pool_rebuilds=2,
+            quarantined_hostnames=4096,
+            quarantined_pairs=0,
+        )
+        degraded = SweepResult(
+            points=(), total_hostnames=0, total_requests=0, failure_report=report_obj
+        )
+
+        def fake_experiment(seed: int) -> str:
+            cli._SWEEP_CACHE[object()] = degraded  # what _sweep_for would cache
+            return "fake degraded output"
+
+        monkeypatch.setattr(cli, "_SWEEP_CACHE", {})
+        monkeypatch.setitem(EXPERIMENTS, "ext-fake", ("fake", fake_experiment))
+        monkeypatch.chdir(tmp_path)
+        assert main(["ext-fake"]) == cli.EXIT_DEGRADED
+        captured = capsys.readouterr()
+        assert "fake degraded output" in captured.out
+        assert "host-7" in captured.err
+        assert "sweep_failure_report.json" in captured.err
+        assert (tmp_path / "sweep_failure_report.json").exists()

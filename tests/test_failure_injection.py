@@ -97,6 +97,75 @@ class TestCorruptedVendorCopies:
         assert result.version_index == version.index
 
 
+class TestSweepWorkerFailures:
+    """Failure injection one layer down: the sweep's task runtime.
+
+    The deeper matrix (timeouts, pool rebuilds, kill-and-resume) lives
+    in test_runtime_resilience.py; these pin the safe-counterpart
+    behaviours — a crash is a retry, a poisoned chunk is a loud
+    quarantine entry, never a silently wrong series.
+    """
+
+    def _world(self):
+        from tests.test_runtime_resilience import _make_world
+
+        return _make_world()
+
+    def test_worker_crash_retry_yields_identical_results(self):
+        from repro.runtime import Fault, FaultKind, FaultPlan, RetryPolicy
+        from repro.sweep import SweepEngine
+
+        store, hostnames, pairs = self._world()
+        serial = SweepEngine(store).sweep(hostnames, pairs)
+        plan = FaultPlan({"host-2": Fault(FaultKind.CRASH, attempts=2)})
+        engine = SweepEngine(
+            store,
+            workers=2,
+            chunk_size=8,
+            fault_plan=plan,
+            resilience=RetryPolicy(backoff_base=0.0),
+        )
+        assert engine.sweep(hostnames, pairs) == serial
+        report = engine.last_failure_report
+        assert "host-2" in report.retried_chunks and not report.degraded
+
+    def test_poisoned_chunk_is_enumerated_not_silent(self):
+        from repro.runtime import ALWAYS, Fault, FaultKind, FaultPlan, RetryPolicy
+        from repro.sweep import SweepEngine
+
+        store, hostnames, pairs = self._world()
+        plan = FaultPlan({"host-0": Fault(FaultKind.CRASH, attempts=ALWAYS)})
+        engine = SweepEngine(
+            store,
+            workers=2,
+            chunk_size=8,
+            fault_plan=plan,
+            resilience=RetryPolicy(backoff_base=0.0),
+        )
+        engine.sweep(hostnames, pairs)
+        report = engine.last_failure_report
+        assert report.degraded
+        assert report.quarantined_chunks == ("host-0",)
+        assert report.quarantined_hostnames == 8
+        assert "degraded" in report.summary()
+
+    def test_corrupt_partial_never_reaches_the_merge(self):
+        from repro.runtime import Fault, FaultKind, FaultPlan, RetryPolicy
+        from repro.sweep import SweepEngine
+
+        store, hostnames, pairs = self._world()
+        serial = SweepEngine(store).sweep(hostnames, pairs)
+        plan = FaultPlan({"pair-0": Fault(FaultKind.CORRUPT, attempts=1)})
+        engine = SweepEngine(
+            store,
+            chunk_size=16,
+            fault_plan=plan,
+            resilience=RetryPolicy(backoff_base=0.0),
+        )
+        assert engine.sweep(hostnames, pairs) == serial
+        assert engine.last_failure_report.retried_chunks == ("pair-0",)
+
+
 class TestWrongListVariant:
     def test_word_list_is_rejected_by_scanner(self):
         from repro.psltool.scanner import looks_like_psl

@@ -221,6 +221,25 @@ class TestEngineApi:
         with pytest.raises(ValueError):
             SweepEngine(VersionStore())
 
+    def test_empty_sweep_short_circuits_even_with_many_workers(self):
+        # The pool-construction edge: min(workers, 0 tasks) must never
+        # reach ProcessPoolExecutor(max_workers=0).
+        store, _ = _random_world(hosts=5, versions=3)
+        for engine in (
+            SweepEngine(store, workers=4),
+            SweepEngine(store, workers=4, resilience=None),
+        ):
+            series = engine.sweep((), ())
+            assert series.site_counts == (0,) * len(store)
+            assert series.hostname_count == 0 and series.request_count == 0
+
+    def test_fault_free_runtime_is_bit_identical_to_raw(self):
+        store, hostnames = _random_world(hosts=60, versions=10)
+        pairs = pairs_from(hostnames)
+        raw = SweepEngine(store, resilience=None).sweep(hostnames, pairs)
+        resilient = SweepEngine(store).sweep(hostnames, pairs)
+        assert resilient == raw
+
     def test_rejects_bad_workers_and_chunks(self):
         store, _ = _random_world(hosts=5, versions=3)
         with pytest.raises(ValueError):

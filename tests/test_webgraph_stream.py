@@ -33,6 +33,51 @@ class TestCountSitesStreaming:
         assert streamed.sites == 1
 
 
+class TestMalformedStreams:
+    """Graceful degradation: bad rows land in ``skipped``, not a traceback."""
+
+    def test_malformed_hostnames_are_skipped_and_counted(self, small_psl):
+        hosts = [
+            "a.x.com",
+            "",  # empty
+            "bad..example",  # empty label
+            "white space.com",  # embedded whitespace
+            "b.x.com",
+        ]
+        streamed = count_sites_streaming(small_psl, hosts)
+        assert streamed.hostnames == 2
+        assert streamed.skipped == 3
+        assert streamed.sites == 1
+
+    def test_non_idna_hostname_is_skipped(self, small_psl):
+        # A label that punycode-encodes past the 63-octet A-label limit.
+        monster = "点" * 60 + ".example"
+        streamed = count_sites_streaming(small_psl, ["ok.com", monster])
+        assert streamed.hostnames == 1 and streamed.skipped == 1
+
+    def test_clean_streams_report_zero_skipped(self, small_psl, snapshot):
+        streamed = count_sites_streaming(small_psl, iter(snapshot.hostnames))
+        assert streamed.skipped == 0
+
+    def test_third_party_pairs_with_bad_endpoint_skipped(self, small_psl):
+        pairs = [
+            ("www.a.com", "cdn.a.com"),
+            ("www.a.com", "broken..host"),
+            ("", "t.ads.net"),
+            ("www.a.com", "t.ads.net"),
+        ]
+        counts = count_third_party_streaming(small_psl, pairs)
+        third, total = counts  # tuple unpacking stays supported
+        assert (third, total) == (1, 2)
+        assert counts.skipped == 2
+
+    def test_third_party_result_fields(self, small_psl):
+        counts = count_third_party_streaming(small_psl, [("a.com", "b.net")])
+        assert counts.third_party == 1
+        assert counts.total == 1
+        assert counts.skipped == 0
+
+
 class TestCountThirdPartyStreaming:
     def test_matches_in_memory(self, small_psl, snapshot):
         assignment = group_sites(small_psl, snapshot.hostnames)
