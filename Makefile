@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test test-faults bench bench-sweep bench-runtime
+.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline
 
 test:  ## tier-1: the full fast suite
 	$(PYTHON) -m pytest -x -q
@@ -21,3 +21,6 @@ bench-sweep:  ## just the sweep-engine perf gate
 
 bench-runtime:  ## the resilient-runtime overhead gate (<10% on fault-free sweeps)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_runtime.py -m bench -q -s
+
+bench-pipeline:  ## the artifact-pipeline gates (warm >= 5x cold, cold overhead < 10%)
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_pipeline.py -m bench -q -s

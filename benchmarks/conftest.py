@@ -20,7 +20,6 @@ import os
 
 import pytest
 
-from repro.analysis.boundaries import run_sweep
 from repro.analysis.context import get_context
 from repro.webgraph.synthesis import SnapshotConfig
 
@@ -63,12 +62,12 @@ def figures_world():
 
 @pytest.fixture(scope="session")
 def tables_sweep(tables_world):
-    return run_sweep(tables_world.store, tables_world.snapshot)
+    return tables_world.sweep_result()
 
 
 @pytest.fixture(scope="session")
 def figures_sweep(figures_world):
-    return run_sweep(figures_world.store, figures_world.snapshot)
+    return figures_world.sweep_result()
 
 
 @pytest.fixture(scope="session")

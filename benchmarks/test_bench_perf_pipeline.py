@@ -1,0 +1,170 @@
+"""PERF — the artifact pipeline: warm speedup and cold abstraction cost.
+
+Two gates guard the ``repro.pipeline`` refactor:
+
+* **warm >= 5x cold** — a second full render over a populated
+  ``--cache-dir`` store must load every stage from disk and beat the
+  cold build by at least 5x end to end;
+* **cold overhead < 10%** — on the default (memory-store) path the DAG
+  plumbing — fingerprinting, report bookkeeping, input threading — must
+  cost < 10% over calling the synthesis and render functions directly,
+  i.e. the pre-pipeline code path.
+
+Both run on slim worlds: the gates measure the pipeline layer, not the
+synthesis workload.
+"""
+
+import datetime
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, save_artifact
+from repro.analysis import growth, report, taxonomy
+from repro.analysis.boundaries import run_sweep
+from repro.analysis.context import world_stages
+from repro.analysis.pipeline import TERMINALS, paper_pipeline
+from repro.history.synthesis import SynthesisConfig, synthesize_history
+from repro.pipeline import ArtifactStore, Pipeline
+from repro.repos.classifier import classify
+from repro.repos.corpus import CorpusConfig, build_corpus
+from repro.repos.dating import ListDater
+from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
+
+pytestmark = pytest.mark.bench
+
+TABLES_CFG = SnapshotConfig(seed=BENCH_SEED, harm_scale=0.2, bulk_scale=0.02)
+FIGURES_CFG = SnapshotConfig(seed=BENCH_SEED, harm_scale=0.1, bulk_scale=0.04)
+MIN_WARM_SPEEDUP = 5.0
+MAX_COLD_OVERHEAD = 0.10
+WARM_ROUNDS = 3
+
+
+def _render_everything(paper):
+    # The export terminal writes ./release as a side effect and is
+    # cache=False by design; the timing gates cover the cached DAG.
+    return {
+        name: paper.render(name) for name in TERMINALS if name != "export"
+    }
+
+
+def test_bench_warm_store_speedup(tmp_path):
+    cache_dir = str(tmp_path / "store")
+
+    def assemble():
+        return paper_pipeline(
+            BENCH_SEED,
+            store=ArtifactStore(cache_dir),
+            tables=TABLES_CFG,
+            figures=FIGURES_CFG,
+        )
+
+    begin = time.perf_counter()
+    cold_paper = assemble()
+    cold_outputs = _render_everything(cold_paper)
+    cold_seconds = time.perf_counter() - begin
+
+    warm_seconds = float("inf")
+    warm_outputs = None
+    for _ in range(WARM_ROUNDS):
+        begin = time.perf_counter()
+        warm_paper = assemble()  # fresh store instance: disk path only
+        warm_outputs = _render_everything(warm_paper)
+        warm_seconds = min(warm_seconds, time.perf_counter() - begin)
+    assert warm_outputs == cold_outputs  # same answer first
+    assert not warm_paper.report.computed_stages()
+
+    speedup = cold_seconds / warm_seconds
+    save_artifact(
+        "perf_pipeline_warm.txt",
+        "\n".join(
+            [
+                f"date           {datetime.date.today().isoformat()}",
+                f"terminals      {len(cold_outputs)}",
+                f"cold build     {cold_seconds:8.3f} s",
+                f"warm reload    {warm_seconds:8.3f} s",
+                f"speedup        {speedup:8.1f} x",
+            ]
+        ),
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm store only {speedup:.1f}x faster than cold "
+        f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s)"
+    )
+
+
+def _direct_world():
+    """The pre-pipeline code path: call everything by hand."""
+    history = synthesize_history(SynthesisConfig(seed=BENCH_SEED))
+    corpus = build_corpus(history, CorpusConfig(seed=BENCH_SEED))
+    rule_names = {
+        rule.name for version in history for rule in version.delta.added
+    }
+    snapshot = synthesize_snapshot(
+        TABLES_CFG, forbidden_suffixes=frozenset(rule_names)
+    )
+    classifications = {}
+    for repo in corpus:
+        verdict = classify(repo)
+        if verdict is not None:
+            classifications[repo.name] = verdict
+    dater = ListDater(history)
+    datings = {}
+    for repo in corpus:
+        paths = repo.psl_paths()
+        datings[repo.name] = dater.date_text(repo.files[paths[0]]) if paths else None
+    sweep = run_sweep(history, snapshot)
+    return {
+        "fig2": report.render_figure2(
+            growth.summarize(history), growth.figure2_series(history)
+        ),
+        "tab1": report.render_table1(taxonomy.table1(corpus)),
+        "fig5": report.render_figure5(sweep),
+    }
+
+
+def _pipelined_world():
+    """The identical work through the DAG (fresh memory-only store)."""
+    pipeline = Pipeline(
+        world_stages(BENCH_SEED, TABLES_CFG), store=ArtifactStore()
+    )
+    for name in ("classifications", "datings"):
+        pipeline.build(name)
+    history = pipeline.build("history")
+    return {
+        "fig2": report.render_figure2(
+            growth.summarize(history), growth.figure2_series(history)
+        ),
+        "tab1": report.render_table1(taxonomy.table1(pipeline.build("corpus"))),
+        "fig5": report.render_figure5(pipeline.build("sweep")),
+    }
+
+
+def test_bench_cold_abstraction_overhead():
+    direct_seconds = float("inf")
+    pipelined_seconds = float("inf")
+    direct_outputs = pipelined_outputs = None
+    for _ in range(2):  # interleaved best-of-2 shaves scheduler noise
+        begin = time.perf_counter()
+        direct_outputs = _direct_world()
+        direct_seconds = min(direct_seconds, time.perf_counter() - begin)
+        begin = time.perf_counter()
+        pipelined_outputs = _pipelined_world()
+        pipelined_seconds = min(pipelined_seconds, time.perf_counter() - begin)
+
+    assert pipelined_outputs == direct_outputs  # same answer first
+    overhead = pipelined_seconds / direct_seconds - 1.0
+    save_artifact(
+        "perf_pipeline_cold.txt",
+        "\n".join(
+            [
+                f"date           {datetime.date.today().isoformat()}",
+                f"direct calls   {direct_seconds:8.3f} s",
+                f"via pipeline   {pipelined_seconds:8.3f} s ({overhead:+6.1%})",
+            ]
+        ),
+    )
+    assert overhead < MAX_COLD_OVERHEAD, (
+        f"pipeline plumbing costs {overhead:.1%} on a cold build "
+        f"({pipelined_seconds:.3f}s vs {direct_seconds:.3f}s direct)"
+    )

@@ -16,11 +16,20 @@ Table 2   Largest missing eTLDs with project counts     :mod:`.harm`
 Table 3   Fixed-usage repositories                      :mod:`.harm`
 ========  ============================================  =======================
 
-:mod:`.context` builds and caches the shared world (history, corpus,
-snapshot); :mod:`.report` renders results as text; :mod:`.cli` exposes
-everything as the ``psl-repro`` command.
+:mod:`.context` builds the shared world (history, corpus, snapshot) as
+stages of the content-addressed artifact DAG; :mod:`.pipeline`
+assembles the full paper DAG with one terminal stage per output;
+:mod:`.report` renders results as text; :mod:`.cli` exposes everything
+as the ``psl-repro`` command.
 """
 
-from repro.analysis.context import ExperimentContext, get_context
+from repro.analysis.context import ExperimentContext, SweepSettings, get_context
+from repro.analysis.pipeline import PaperPipeline, paper_pipeline
 
-__all__ = ["ExperimentContext", "get_context"]
+__all__ = [
+    "ExperimentContext",
+    "PaperPipeline",
+    "SweepSettings",
+    "get_context",
+    "paper_pipeline",
+]

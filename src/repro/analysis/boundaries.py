@@ -93,6 +93,7 @@ def run_sweep(
     resume: bool = True,
     resilience: RetryPolicy | None = RetryPolicy(),
     fault_plan: FaultPlan | None = None,
+    fingerprint: str | None = None,
 ) -> SweepResult:
     """Evaluate the snapshot under every version of the history.
 
@@ -103,7 +104,11 @@ def run_sweep(
     killed sweep re-run with ``resume=True`` restarts from the last
     completed chunk; the returned result carries the engine's
     :class:`~repro.sweep.SweepFailureReport` so callers can detect a
-    degraded (quarantined-chunk) run.
+    degraded (quarantined-chunk) run.  ``fingerprint`` optionally
+    identifies the (store, snapshot) universe by an already-computed
+    digest — the pipeline's sweep stage passes its own artifact
+    fingerprint here, so checkpoint manifests and pipeline artifacts
+    share one keying scheme.
     """
     engine = SweepEngine(
         store,
@@ -114,7 +119,11 @@ def run_sweep(
         resilience=resilience,
         fault_plan=fault_plan,
     )
-    series = engine.sweep(snapshot.hostnames, tuple(snapshot.iter_request_pairs()))
+    series = engine.sweep(
+        snapshot.hostnames,
+        tuple(snapshot.iter_request_pairs()),
+        universe_fingerprint=fingerprint,
+    )
     points = tuple(
         SweepPoint(
             index=version.index,

@@ -7,6 +7,14 @@ Usage::
     psl-repro tab2                 # the harm table + headline
     psl-repro all                  # everything, in paper order
     psl-repro tab2 --seed 7        # a different synthetic world
+    psl-repro all --cache-dir .psl-cache --explain
+
+Every output renders through the artifact DAG of
+:mod:`repro.analysis.pipeline`: within one invocation Figures 5-7 and
+Tables 2-3 share one sweep per world, and with ``--cache-dir`` the
+content-addressed store makes ``psl-repro fig5 && psl-repro tab2``
+share it across *processes* too.  ``--explain`` prints the per-stage
+hit/miss/wall-time report.
 
 Figures 5-7 default to the figures preset (real-world proportions);
 tables use the paper-exact harm populations.  See EXPERIMENTS.md for
@@ -19,35 +27,49 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.analysis import age as age_mod
-from repro.analysis import boundaries, growth, harm, popularity, report, taxonomy
-from repro.analysis.context import ExperimentContext, figures_context, tables_context
+from repro.analysis import boundaries
+from repro.analysis.pipeline import TERMINALS, PaperPipeline, SweepSettings, paper_pipeline
+from repro.pipeline import ArtifactStore
 
-_SWEEP_CACHE: dict[int, boundaries.SweepResult] = {}
-
-# Sweep-engine knobs set per process by ``psl-repro`` flags:
+# Sweep-engine and store knobs set per process by ``psl-repro`` flags:
 # ``--workers`` (results are bit-identical at any value),
-# ``--checkpoint-dir`` (chunk-granular spill directory), and
-# ``--resume`` (reuse spills from a killed run instead of clearing).
+# ``--checkpoint-dir`` (chunk-granular spill directory),
+# ``--resume`` (reuse spills from a killed run instead of clearing),
+# ``--cache-dir`` (the persistent artifact store).
 _SWEEP_WORKERS = 1
 _SWEEP_CHECKPOINT_DIR: str | None = None
 _SWEEP_RESUME = False
+_CACHE_DIR: str | None = None
+
+#: Sweeps computed by this process, in order — the degraded-run check
+#: reads the tail this invocation appended.
+_SWEEP_SINK: list[boundaries.SweepResult] = []
+
+#: Assembled DAGs, keyed by (seed, knobs) — replaces the old
+#: ``id(context)``-keyed sweep cache, whose keys could be reused after
+#: garbage collection and returned the wrong sweep.
+_PIPELINES: dict[tuple, PaperPipeline] = {}
 
 #: Exit status when a sweep completed degraded (quarantined chunks).
 EXIT_DEGRADED = 3
 
 
-def _sweep_for(context: ExperimentContext) -> boundaries.SweepResult:
-    key = id(context)
-    if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = boundaries.run_sweep(
-            context.store,
-            context.snapshot,
-            workers=_SWEEP_WORKERS,
-            checkpoint_dir=_SWEEP_CHECKPOINT_DIR,
-            resume=_SWEEP_RESUME,
+def _paper(seed: int) -> PaperPipeline:
+    """The (memoized) paper DAG for ``seed`` under the current knobs."""
+    key = (seed, _SWEEP_WORKERS, _SWEEP_CHECKPOINT_DIR, _SWEEP_RESUME, _CACHE_DIR)
+    if key not in _PIPELINES:
+        store = ArtifactStore(_CACHE_DIR) if _CACHE_DIR is not None else None
+        _PIPELINES[key] = paper_pipeline(
+            seed,
+            store=store,
+            sweep=SweepSettings(
+                workers=_SWEEP_WORKERS,
+                checkpoint_dir=_SWEEP_CHECKPOINT_DIR,
+                resume=_SWEEP_RESUME,
+                on_result=_SWEEP_SINK.append,
+            ),
         )
-    return _SWEEP_CACHE[key]
+    return _PIPELINES[key]
 
 
 def _diagnose_degraded(results: list[boundaries.SweepResult]) -> str | None:
@@ -82,163 +104,38 @@ def _diagnose_degraded(results: list[boundaries.SweepResult]) -> str | None:
     )
 
 
-def run_fig2(seed: int) -> str:
-    context = tables_context(seed)
-    series = growth.figure2_series(context.store)
-    return report.render_figure2(growth.summarize(context.store), series)
+def _runner(name: str) -> Callable[[int], str]:
+    def run(seed: int) -> str:
+        return _paper(seed).render(name)
 
-
-def run_tab1(seed: int) -> str:
-    return report.render_table1(taxonomy.table1(tables_context(seed).corpus))
-
-
-def run_fig3(seed: int) -> str:
-    return report.render_figure3(age_mod.age_distributions(tables_context(seed)))
-
-
-def run_fig4(seed: int) -> str:
-    return report.render_figure4(popularity.popularity(tables_context(seed)))
-
-
-def run_fig5(seed: int) -> str:
-    return report.render_figure5(_sweep_for(figures_context(seed)))
-
-
-def run_fig6(seed: int) -> str:
-    return report.render_figure6(_sweep_for(figures_context(seed)))
-
-
-def run_fig7(seed: int) -> str:
-    return report.render_figure7(_sweep_for(figures_context(seed)))
-
-
-def run_tab2(seed: int) -> str:
-    context = tables_context(seed)
-    return report.render_table2(harm.harm_analysis(context, _sweep_for(context)))
-
-
-def run_tab3(seed: int) -> str:
-    context = tables_context(seed)
-    return report.render_table3(harm.harm_analysis(context, _sweep_for(context)))
-
-
-def run_categories(seed: int) -> str:
-    from repro.analysis.categories import final_breakdown, growth_attribution
-
-    store = tables_context(seed).store
-    lines = ["Extension — suffix categories (IANA labels)", ""]
-    breakdown = final_breakdown(store)
-    lines.append("Final list: " + ", ".join(f"{k}={v}" for k, v in sorted(breakdown.items())))
-    for phase in ((2007, 2011), (2012, 2012), (2013, 2016), (2017, 2022)):
-        deltas = growth_attribution(store, *phase)
-        top = sorted(deltas.items(), key=lambda kv: -abs(kv[1]))[:3]
-        lines.append(
-            f"{phase[0]}-{phase[1]}: " + ", ".join(f"{k} {v:+d}" for k, v in top)
-        )
-    return "\n".join(lines)
-
-
-def run_updates(seed: int) -> str:
-    from repro.analysis.updates import compare_strategies
-
-    lines = ["Extension — update-failure staleness model (10% fetch failures)", ""]
-    for outcome in compare_strategies(seed=seed):
-        lines.append(
-            f"{outcome.strategy:16s} mean age {outcome.mean_age_days:7.1f}d  "
-            f"p95 {outcome.p95_age_days:7.1f}d  worst {outcome.worst_age_days}d"
-        )
-    return "\n".join(lines)
-
-
-def run_notify(seed: int) -> str:
-    from repro.analysis.notifications import render_campaign, run_campaign
-
-    context = tables_context(seed)
-    summary = run_campaign(context, _sweep_for(context))
-    return render_campaign(summary, preview=1)
-
-
-def run_exposure(seed: int) -> str:
-    from repro.analysis.exposure import corpus_exposure, render_exposure
-
-    context = tables_context(seed)
-    _ = _sweep_for(context)  # warms the caches the exposure run shares
-    reports = corpus_exposure(context)
-    return (
-        "Extension — pairwise autofill/cookie exposure (fixed/production)\n\n"
-        + render_exposure(reports, limit=12)
-    )
-
-
-def run_whatif(seed: int) -> str:
-    from repro.analysis.whatif import policy_curve, render_policy_curve
-
-    context = tables_context(seed)
-    curve = policy_curve(_sweep_for(context))
-    return (
-        "Extension — residual harm under refresh policies\n\n"
-        + render_policy_curve(curve)
-    )
-
-
-def run_forecast(seed: int) -> str:
-    from repro.analysis.forecast import fit_growth, forecast
-
-    store = tables_context(seed).store
-    fits = fit_growth(store)
-    lines = ["Extension — list-growth models (holdout on the last 20%)", ""]
-    for name, fit in sorted(fits.items()):
-        lines.append(f"{name:9s} holdout MAPE {fit.holdout_mape:6.1%}")
-    lines.append("")
-    for years in (1, 5, 10):
-        predictions = forecast(store, years_ahead=years)
-        rendered = ", ".join(f"{k} {v:,.0f}" for k, v in sorted(predictions.items()))
-        lines.append(f"+{years:>2d}y: {rendered} rules")
-    return "\n".join(lines)
-
-
-def run_scorecard(seed: int) -> str:
-    from repro.analysis.harm import harm_analysis
-    from repro.analysis.scorecard import build_scorecard, render_scorecard
-
-    context = tables_context(seed)
-    tables_sweep = _sweep_for(context)
-    figures_sweep = _sweep_for(figures_context(seed))
-    rows = build_scorecard(context, harm_analysis(context, tables_sweep), figures_sweep)
-    return render_scorecard(rows)
-
-
-def run_export(seed: int) -> str:
-    from repro.analysis.harm import harm_analysis
-    from repro.analysis.release import export_release
-
-    context = tables_context(seed)
-    sweep = _sweep_for(context)
-    counts = export_release(context, sweep, harm_analysis(context, sweep), "release")
-    lines = ["Artifact release written to ./release:"]
-    lines.extend(f"  {name}: {rows} rows" for name, rows in counts.items())
-    return "\n".join(lines)
+    run.__name__ = f"run_{name.replace('-', '_')}"
+    run.__doc__ = f"Render the {name!r} terminal stage of the paper DAG."
+    return run
 
 
 EXPERIMENTS: dict[str, tuple[str, Callable[[int], str]]] = {
-    "fig2": ("Growth of the PSL and suffix components over time", run_fig2),
-    "tab1": ("Projects using the PSL by usage type", run_tab1),
-    "fig3": ("Age of lists stored in GitHub projects", run_fig3),
-    "fig4": ("List age vs. activity vs. popularity", run_fig4),
-    "fig5": ("Sites formed by different PSL versions", run_fig5),
-    "fig6": ("Third-party requests by PSL version", run_fig6),
-    "fig7": ("Hostnames regrouped vs. the newest PSL", run_fig7),
-    "tab2": ("Largest missing eTLDs and the harm headline", run_tab2),
-    "tab3": ("Fixed-usage repositories", run_tab3),
-    "ext-categories": ("Extension: suffix categories over time", run_categories),
-    "ext-updates": ("Extension: update-failure staleness model", run_updates),
-    "ext-notify": ("Extension: maintainer notification campaign", run_notify),
-    "ext-exposure": ("Extension: pairwise autofill/cookie exposure", run_exposure),
-    "ext-forecast": ("Extension: list-growth models and forecasts", run_forecast),
-    "ext-whatif": ("Extension: residual harm under refresh policies", run_whatif),
-    "export": ("Write the paper's release bundle (CSV datasets) to ./release", run_export),
-    "scorecard": ("The full paper-vs-measured scorecard (builds both worlds)", run_scorecard),
+    name: (description, _runner(name)) for name, description in TERMINALS.items()
 }
+
+# The historical per-experiment entry points, still importable.
+run_fig1 = EXPERIMENTS["fig1"][1]
+run_fig2 = EXPERIMENTS["fig2"][1]
+run_tab1 = EXPERIMENTS["tab1"][1]
+run_fig3 = EXPERIMENTS["fig3"][1]
+run_fig4 = EXPERIMENTS["fig4"][1]
+run_fig5 = EXPERIMENTS["fig5"][1]
+run_fig6 = EXPERIMENTS["fig6"][1]
+run_fig7 = EXPERIMENTS["fig7"][1]
+run_tab2 = EXPERIMENTS["tab2"][1]
+run_tab3 = EXPERIMENTS["tab3"][1]
+run_categories = EXPERIMENTS["ext-categories"][1]
+run_updates = EXPERIMENTS["ext-updates"][1]
+run_notify = EXPERIMENTS["ext-notify"][1]
+run_exposure = EXPERIMENTS["ext-exposure"][1]
+run_forecast = EXPERIMENTS["ext-forecast"][1]
+run_whatif = EXPERIMENTS["ext-whatif"][1]
+run_scorecard = EXPERIMENTS["scorecard"][1]
+run_export = EXPERIMENTS["export"][1]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -269,34 +166,57 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="reuse checkpoints from a previous run in --checkpoint-dir",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact store: later invocations reuse every "
+        "stage (history, snapshot, sweep, rendered outputs) that is "
+        "bit-identical to what they would compute",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-stage pipeline report (hit/miss, bytes, seconds)",
+    )
     arguments = parser.parse_args(argv)
     if arguments.workers < 1:
         parser.error("--workers must be positive")
     if arguments.resume and arguments.checkpoint_dir is None:
         parser.error("--resume requires --checkpoint-dir")
-    global _SWEEP_WORKERS, _SWEEP_CHECKPOINT_DIR, _SWEEP_RESUME
+    global _SWEEP_WORKERS, _SWEEP_CHECKPOINT_DIR, _SWEEP_RESUME, _CACHE_DIR
     _SWEEP_WORKERS = arguments.workers
     _SWEEP_CHECKPOINT_DIR = arguments.checkpoint_dir
     _SWEEP_RESUME = arguments.resume
+    _CACHE_DIR = arguments.cache_dir
 
     if arguments.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:6s} {EXPERIMENTS[name][0]}")
         return 0
 
-    cached_before = set(_SWEEP_CACHE)
-    names = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    paper = _paper(arguments.seed)
+    pipeline_report = paper.reset_report()
+    sink_mark = len(_SWEEP_SINK)
+    names = list(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for position, name in enumerate(names):
         if position:
             print("\n" + "=" * 72 + "\n")
         print(EXPERIMENTS[name][1](arguments.seed))
 
+    if arguments.explain:
+        print("\n" + "=" * 72 + "\n")
+        print(pipeline_report.render())
+    if _CACHE_DIR is not None:
+        import os
+
+        try:
+            pipeline_report.save(os.path.join(_CACHE_DIR, "pipeline_report.json"))
+        except OSError:
+            pass
+
     # A degraded sweep must not masquerade as a clean run: diagnose the
     # sweeps this invocation produced and exit nonzero.
-    produced = [
-        result for key, result in _SWEEP_CACHE.items() if key not in cached_before
-    ]
-    diagnosis = _diagnose_degraded(produced)
+    diagnosis = _diagnose_degraded(_SWEEP_SINK[sink_mark:])
     if diagnosis is not None:
         print(diagnosis, file=sys.stderr)
         return EXIT_DEGRADED

@@ -1,10 +1,15 @@
-"""Shared, cached experiment context.
+"""Shared experiment context, backed by the artifact pipeline.
 
 Synthesizing the world (1,142-version history, 273-repository corpus,
 multi-hundred-thousand-hostname snapshot) takes seconds; every
-experiment needs some subset of it.  :func:`get_context` memoizes fully
-constructed contexts per configuration so benchmarks, examples, and
-the CLI all reuse one world.
+experiment needs some subset of it.  Each world component is a
+:class:`repro.pipeline.Stage` — ``history``, ``corpus``, ``snapshot``,
+``classifications``, ``datings``, plus the Figures 5-7 ``sweep`` — so
+contexts are thin views over a content-addressed
+:class:`~repro.pipeline.ArtifactStore`: within a process every context
+with the same configuration shares one world (the store's memory
+layer), and a context built over a disk store reuses worlds across
+*processes* too.
 
 Two presets matter:
 
@@ -20,10 +25,12 @@ Two presets matter:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Mapping, Optional
 
+from repro.analysis.boundaries import SweepResult, run_sweep
 from repro.history.store import VersionStore
 from repro.history.synthesis import SynthesisConfig, synthesize_history
+from repro.pipeline import Pipeline, Stage, StageContext, memory_store
 from repro.repos.classifier import Classification, classify
 from repro.repos.corpus import CorpusConfig, build_corpus
 from repro.repos.dating import DatingResult, ListDater
@@ -33,34 +40,183 @@ from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
 
 DEFAULT_SEED = 20230701
 
+#: The stage roles every world pipeline provides.
+WORLD_STAGES = ("history", "corpus", "snapshot", "classifications", "datings", "sweep")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSettings:
+    """Execution knobs for the sweep stage.
+
+    Only ``workers`` is fingerprint material (the ISSUE of record for a
+    sweep); ``checkpoint_dir``/``resume`` change *how* a sweep executes
+    and recovers, never what it computes, so they stay out of the key.
+    ``on_result`` observes every freshly computed sweep (the CLI uses
+    it to catch degraded runs).
+    """
+
+    workers: int = 1
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    on_result: Callable[[SweepResult], None] | None = None
+
+
+def world_stages(
+    seed: int,
+    snapshot_config: SnapshotConfig,
+    sweep: SweepSettings = SweepSettings(),
+) -> tuple[Stage, ...]:
+    """The six world stages for one (seed, snapshot configuration).
+
+    Stage versions are bumped only when the synthesis itself changes
+    meaning; parameter changes (seed, scales) re-key automatically.
+    """
+
+    def build_history(inputs: Mapping[str, Any], ctx: StageContext) -> VersionStore:
+        return synthesize_history(SynthesisConfig(seed=seed))
+
+    def build_corpus_stage(
+        inputs: Mapping[str, Any], ctx: StageContext
+    ) -> list[Repository]:
+        return build_corpus(inputs["history"], CorpusConfig(seed=seed))
+
+    def build_snapshot(inputs: Mapping[str, Any], ctx: StageContext) -> Snapshot:
+        store: VersionStore = inputs["history"]
+        rule_names: set[str] = set()
+        for version in store:
+            for rule in version.delta.added:
+                rule_names.add(rule.name)
+        return synthesize_snapshot(
+            snapshot_config, forbidden_suffixes=frozenset(rule_names)
+        )
+
+    def build_classifications(
+        inputs: Mapping[str, Any], ctx: StageContext
+    ) -> dict[str, Classification]:
+        results: dict[str, Classification] = {}
+        for repo in inputs["corpus"]:
+            verdict = classify(repo)
+            if verdict is not None:
+                results[repo.name] = verdict
+        return results
+
+    def build_datings(
+        inputs: Mapping[str, Any], ctx: StageContext
+    ) -> dict[str, DatingResult | None]:
+        dater = ListDater(inputs["history"])
+        results: dict[str, DatingResult | None] = {}
+        for repo in inputs["corpus"]:
+            paths = repo.psl_paths()
+            results[repo.name] = (
+                dater.date_text(repo.files[paths[0]]) if paths else None
+            )
+        return results
+
+    def build_sweep(inputs: Mapping[str, Any], ctx: StageContext) -> SweepResult:
+        # The stage's own fingerprint keys the runtime checkpoint
+        # manifest too — artifact store and checkpoint spills can never
+        # disagree about what "the same sweep" is.
+        result = run_sweep(
+            inputs["history"],
+            inputs["snapshot"],
+            workers=sweep.workers,
+            checkpoint_dir=sweep.checkpoint_dir,
+            resume=sweep.resume,
+            fingerprint=ctx.fingerprint,
+        )
+        if sweep.on_result is not None:
+            sweep.on_result(result)
+        return result
+
+    def sweep_is_clean(result: SweepResult) -> bool:
+        report = result.failure_report
+        return report is None or not report.degraded
+
+    return (
+        Stage(
+            name="history",
+            build=build_history,
+            params={"seed": seed},
+        ),
+        Stage(
+            name="corpus",
+            build=build_corpus_stage,
+            upstream=("history",),
+            params={"seed": seed},
+        ),
+        Stage(
+            name="snapshot",
+            build=build_snapshot,
+            upstream=("history",),
+            params={"config": snapshot_config},
+        ),
+        Stage(
+            name="classifications",
+            build=build_classifications,
+            upstream=("corpus",),
+        ),
+        Stage(
+            name="datings",
+            build=build_datings,
+            upstream=("history", "corpus"),
+        ),
+        Stage(
+            name="sweep",
+            build=build_sweep,
+            upstream=("history", "snapshot"),
+            params={
+                "workers": sweep.workers,
+                "sites": True,
+                "divergence": True,
+                "baseline": -1,
+            },
+            # A degraded sweep (quarantined chunks) must never seed a
+            # later run from disk; it stays memory-only.
+            persist=sweep_is_clean,
+        ),
+    )
+
 
 @dataclass
 class ExperimentContext:
-    """Lazily constructed shared world for the experiments."""
+    """A view over the world stages of one pipeline.
+
+    Constructed bare (``ExperimentContext(seed=...)``) it wires its own
+    single-world pipeline over the process-wide memory store;
+    :func:`repro.analysis.pipeline.paper_pipeline` instead hands every
+    context one merged DAG plus a ``stage_names`` alias map (the
+    figures world's stages carry an ``@figures`` suffix there).
+    """
 
     seed: int = DEFAULT_SEED
     snapshot_config: SnapshotConfig = field(default_factory=SnapshotConfig)
+    pipeline: Optional[Pipeline] = field(default=None, repr=False)
+    stage_names: Mapping[str, str] = field(default_factory=dict, repr=False)
 
-    _store: Optional[VersionStore] = field(default=None, repr=False)
-    _corpus: Optional[list[Repository]] = field(default=None, repr=False)
-    _snapshot: Optional[Snapshot] = field(default=None, repr=False)
-    _dater: Optional[ListDater] = field(default=None, repr=False)
-    _classifications: Optional[dict[str, Classification]] = field(default=None, repr=False)
-    _datings: Optional[dict[str, DatingResult | None]] = field(default=None, repr=False)
+    _dater: Optional[ListDater] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.pipeline is None:
+            self.pipeline = Pipeline(
+                world_stages(self.seed, self.snapshot_config), store=memory_store()
+            )
+
+    def _build(self, role: str) -> Any:
+        return self.pipeline.build(self.stage_names.get(role, role))
+
+    def stage_fingerprint(self, role: str) -> str:
+        """The pipeline fingerprint of one of this context's stages."""
+        return self.pipeline.fingerprint_of(self.stage_names.get(role, role))
 
     @property
     def store(self) -> VersionStore:
         """The synthetic 1,142-version history."""
-        if self._store is None:
-            self._store = synthesize_history(SynthesisConfig(seed=self.seed))
-        return self._store
+        return self._build("history")
 
     @property
     def corpus(self) -> list[Repository]:
         """The 273-repository corpus."""
-        if self._corpus is None:
-            self._corpus = build_corpus(self.store, CorpusConfig(seed=self.seed))
-        return self._corpus
+        return self._build("corpus")
 
     @property
     def snapshot(self) -> Snapshot:
@@ -70,15 +226,7 @@ class ExperimentContext:
         generated background domains, so only the intended populations
         sit under suffix rules.
         """
-        if self._snapshot is None:
-            rule_names: set[str] = set()
-            for version in self.store:
-                for rule in version.delta.added:
-                    rule_names.add(rule.name)
-            self._snapshot = synthesize_snapshot(
-                self.snapshot_config, forbidden_suffixes=frozenset(rule_names)
-            )
-        return self._snapshot
+        return self._build("snapshot")
 
     @property
     def dater(self) -> ListDater:
@@ -90,50 +238,48 @@ class ExperimentContext:
     @property
     def classifications(self) -> dict[str, Classification]:
         """Repository name -> classifier verdict, for the whole corpus."""
-        if self._classifications is None:
-            results: dict[str, Classification] = {}
-            for repo in self.corpus:
-                verdict = classify(repo)
-                if verdict is not None:
-                    results[repo.name] = verdict
-            self._classifications = results
-        return self._classifications
+        return self._build("classifications")
 
     @property
     def datings(self) -> dict[str, "DatingResult | None"]:
         """Repository name -> dating of its (first) vendored list."""
-        if self._datings is None:
-            results: dict[str, DatingResult | None] = {}
-            for repo in self.corpus:
-                paths = repo.psl_paths()
-                results[repo.name] = (
-                    self.dater.date_text(repo.files[paths[0]]) if paths else None
-                )
-            self._datings = results
-        return self._datings
+        return self._build("datings")
 
-
-_CACHE: dict[tuple, ExperimentContext] = {}
+    def sweep_result(self) -> SweepResult:
+        """The Figures 5-7 version sweep for this world, through the
+        pipeline — the artifact replaces the old ``id()``-keyed module
+        cache (whose keys could be reused after garbage collection)."""
+        return self._build("sweep")
 
 
 def get_context(
     seed: int = DEFAULT_SEED, snapshot_config: SnapshotConfig | None = None
 ) -> ExperimentContext:
-    """Memoized context for a (seed, snapshot configuration) pair."""
+    """A context for a (seed, snapshot configuration) pair.
+
+    Contexts themselves are cheap; the expensive world components are
+    shared by fingerprint through the process-wide memory store, so two
+    calls with equal configuration reuse one world.
+    """
     config = snapshot_config or SnapshotConfig(seed=seed)
-    key = (seed,) + tuple(
-        getattr(config, name) for name in sorted(SnapshotConfig.__dataclass_fields__)
-    )
-    if key not in _CACHE:
-        _CACHE[key] = ExperimentContext(seed=seed, snapshot_config=config)
-    return _CACHE[key]
+    return ExperimentContext(seed=seed, snapshot_config=config)
+
+
+def tables_config(seed: int = DEFAULT_SEED) -> SnapshotConfig:
+    """Snapshot preset for Tables 2-3: paper-exact harm populations."""
+    return SnapshotConfig(seed=seed, harm_scale=1.0, bulk_scale=0.25)
+
+
+def figures_config(seed: int = DEFAULT_SEED) -> SnapshotConfig:
+    """Snapshot preset for Figures 5-7: real-world proportions."""
+    return SnapshotConfig(seed=seed, harm_scale=0.15, bulk_scale=2.0)
 
 
 def tables_context(seed: int = DEFAULT_SEED) -> ExperimentContext:
     """Preset for Tables 2-3: paper-exact harm populations."""
-    return get_context(seed, SnapshotConfig(seed=seed, harm_scale=1.0, bulk_scale=0.25))
+    return get_context(seed, tables_config(seed))
 
 
 def figures_context(seed: int = DEFAULT_SEED) -> ExperimentContext:
     """Preset for Figures 5-7: real-world-proportioned populations."""
-    return get_context(seed, SnapshotConfig(seed=seed, harm_scale=0.15, bulk_scale=2.0))
+    return get_context(seed, figures_config(seed))

@@ -1,0 +1,375 @@
+"""The paper's artifact DAG: one pipeline under every output.
+
+This module assembles the whole reproduction as a single
+:class:`repro.pipeline.Pipeline`:
+
+* the **tables world** under its plain stage names (``history``,
+  ``corpus``, ``snapshot``, ``classifications``, ``datings``,
+  ``sweep``, plus the derived ``harm`` result);
+* the **figures world** sharing ``history``/``corpus`` with the tables
+  world (same fingerprints) and adding ``snapshot@figures`` /
+  ``sweep@figures``;
+* a **terminal stage per paper output** — ``fig1`` … ``fig7``,
+  ``tab1`` … ``tab3``, every ``ext-*`` ablation, the ``scorecard`` and
+  the release ``export`` — whose artifact *is* the rendered text.
+
+Because every terminal hangs off the same content-addressed store,
+``psl-repro fig5 && psl-repro tab2`` over a warm ``--cache-dir`` share
+the sweep instead of running it twice, and ``psl-repro all`` builds
+each non-terminal stage at most once — per process *and* across
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.analysis import age as age_mod
+from repro.analysis import growth, harm, popularity, report, taxonomy
+from repro.analysis.boundaries import SweepResult
+from repro.analysis.context import (
+    ExperimentContext,
+    SweepSettings,
+    figures_config,
+    tables_config,
+    world_stages,
+)
+from repro.pipeline import ArtifactStore, Pipeline, PipelineReport, Stage, StageContext, memory_store
+
+__all__ = [
+    "FIGURES_SUFFIX",
+    "PaperPipeline",
+    "SweepSettings",
+    "TERMINALS",
+    "paper_pipeline",
+]
+
+#: Stage-name suffix distinguishing the figures world inside the DAG.
+FIGURES_SUFFIX = "@figures"
+
+#: Terminal stage name -> one-line description, in paper order.
+TERMINALS: dict[str, str] = {
+    "fig1": "The illustrative grouping example, computed",
+    "fig2": "Growth of the PSL and suffix components over time",
+    "tab1": "Projects using the PSL by usage type",
+    "fig3": "Age of lists stored in GitHub projects",
+    "fig4": "List age vs. activity vs. popularity",
+    "fig5": "Sites formed by different PSL versions",
+    "fig6": "Third-party requests by PSL version",
+    "fig7": "Hostnames regrouped vs. the newest PSL",
+    "tab2": "Largest missing eTLDs and the harm headline",
+    "tab3": "Fixed-usage repositories",
+    "ext-categories": "Extension: suffix categories over time",
+    "ext-updates": "Extension: update-failure staleness model",
+    "ext-notify": "Extension: maintainer notification campaign",
+    "ext-exposure": "Extension: pairwise autofill/cookie exposure",
+    "ext-forecast": "Extension: list-growth models and forecasts",
+    "ext-whatif": "Extension: residual harm under refresh policies",
+    "export": "Write the paper's release bundle (CSV datasets) to ./release",
+    "scorecard": "The full paper-vs-measured scorecard (builds both worlds)",
+}
+
+
+@dataclass
+class PaperPipeline:
+    """The assembled DAG plus its two world views."""
+
+    seed: int
+    pipeline: Pipeline
+    tables: ExperimentContext
+    figures: ExperimentContext
+
+    @property
+    def report(self) -> PipelineReport:
+        return self.pipeline.report
+
+    def reset_report(self) -> PipelineReport:
+        """Swap in a fresh report (one per CLI invocation)."""
+        self.pipeline.report = PipelineReport()
+        return self.pipeline.report
+
+    def render(self, name: str) -> str:
+        """The rendered text of one terminal stage."""
+        if name not in TERMINALS:
+            raise KeyError(f"unknown terminal stage {name!r}")
+        return self.pipeline.build(name)
+
+    def sweep_results(self) -> list[SweepResult]:
+        """Every sweep this process has materialized for this DAG —
+        used by the CLI to refuse to exit 0 after a degraded sweep."""
+        results = []
+        for stage in ("sweep", f"sweep{FIGURES_SUFFIX}"):
+            value = self.pipeline.peek(stage)
+            if value is not None:
+                results.append(value)
+        return results
+
+
+def _terminal_stages(
+    seed: int, holder: dict[str, ExperimentContext]
+) -> tuple[Stage, ...]:
+    """Terminal (and derived) stages; contexts resolved via ``holder``
+    after the pipeline exists."""
+
+    def tables_ctx() -> ExperimentContext:
+        return holder["tables"]
+
+    def figures_ctx() -> ExperimentContext:
+        return holder["figures"]
+
+    def build_harm(inputs: Mapping[str, Any], ctx: StageContext) -> harm.HarmResult:
+        return harm.harm_analysis(tables_ctx(), inputs["sweep"])
+
+    def build_fig1(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.figure1 import (
+            PAPER_HOSTNAMES,
+            PAPER_V1_RULES,
+            PAPER_V2_RULES,
+            figure1,
+            render_figure1,
+        )
+        from repro.psl.parser import parse_psl
+
+        panels = figure1(
+            parse_psl(PAPER_V1_RULES), parse_psl(PAPER_V2_RULES), PAPER_HOSTNAMES
+        )
+        return render_figure1(panels)
+
+    def build_fig2(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        store = inputs["history"]
+        return report.render_figure2(
+            growth.summarize(store), growth.figure2_series(store)
+        )
+
+    def build_tab1(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_table1(taxonomy.table1(inputs["corpus"]))
+
+    def build_fig3(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_figure3(age_mod.age_distributions(tables_ctx()))
+
+    def build_fig4(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_figure4(popularity.popularity(tables_ctx()))
+
+    def build_fig5(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_figure5(inputs[f"sweep{FIGURES_SUFFIX}"])
+
+    def build_fig6(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_figure6(inputs[f"sweep{FIGURES_SUFFIX}"])
+
+    def build_fig7(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_figure7(inputs[f"sweep{FIGURES_SUFFIX}"])
+
+    def build_tab2(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_table2(inputs["harm"])
+
+    def build_tab3(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        return report.render_table3(inputs["harm"])
+
+    def build_categories(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.categories import final_breakdown, growth_attribution
+
+        store = inputs["history"]
+        lines = ["Extension — suffix categories (IANA labels)", ""]
+        breakdown = final_breakdown(store)
+        lines.append(
+            "Final list: " + ", ".join(f"{k}={v}" for k, v in sorted(breakdown.items()))
+        )
+        for phase in ((2007, 2011), (2012, 2012), (2013, 2016), (2017, 2022)):
+            deltas = growth_attribution(store, *phase)
+            top = sorted(deltas.items(), key=lambda kv: -abs(kv[1]))[:3]
+            lines.append(
+                f"{phase[0]}-{phase[1]}: " + ", ".join(f"{k} {v:+d}" for k, v in top)
+            )
+        return "\n".join(lines)
+
+    def build_updates(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.updates import compare_strategies
+
+        lines = ["Extension — update-failure staleness model (10% fetch failures)", ""]
+        for outcome in compare_strategies(seed=seed):
+            lines.append(
+                f"{outcome.strategy:16s} mean age {outcome.mean_age_days:7.1f}d  "
+                f"p95 {outcome.p95_age_days:7.1f}d  worst {outcome.worst_age_days}d"
+            )
+        return "\n".join(lines)
+
+    def build_notify(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.notifications import render_campaign, run_campaign
+
+        summary = run_campaign(tables_ctx(), inputs["sweep"])
+        return render_campaign(summary, preview=1)
+
+    def build_exposure(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.exposure import corpus_exposure, render_exposure
+
+        reports = corpus_exposure(tables_ctx())
+        return (
+            "Extension — pairwise autofill/cookie exposure (fixed/production)\n\n"
+            + render_exposure(reports, limit=12)
+        )
+
+    def build_forecast(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.forecast import fit_growth, forecast
+
+        store = inputs["history"]
+        fits = fit_growth(store)
+        lines = ["Extension — list-growth models (holdout on the last 20%)", ""]
+        for name, fit in sorted(fits.items()):
+            lines.append(f"{name:9s} holdout MAPE {fit.holdout_mape:6.1%}")
+        lines.append("")
+        for years in (1, 5, 10):
+            predictions = forecast(store, years_ahead=years)
+            rendered = ", ".join(f"{k} {v:,.0f}" for k, v in sorted(predictions.items()))
+            lines.append(f"+{years:>2d}y: {rendered} rules")
+        return "\n".join(lines)
+
+    def build_whatif(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.whatif import policy_curve, render_policy_curve
+
+        curve = policy_curve(inputs["sweep"])
+        return (
+            "Extension — residual harm under refresh policies\n\n"
+            + render_policy_curve(curve)
+        )
+
+    def build_scorecard(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.scorecard import build_scorecard, render_scorecard
+
+        rows = build_scorecard(
+            tables_ctx(), inputs["harm"], inputs[f"sweep{FIGURES_SUFFIX}"]
+        )
+        return render_scorecard(rows)
+
+    def build_export(inputs: Mapping[str, Any], ctx: StageContext) -> str:
+        from repro.analysis.release import export_release
+
+        counts = export_release(
+            tables_ctx(), inputs["sweep"], inputs["harm"], "release"
+        )
+        lines = ["Artifact release written to ./release:"]
+        lines.extend(f"  {name}: {rows} rows" for name, rows in counts.items())
+        return "\n".join(lines)
+
+    from repro.analysis.figure1 import PAPER_HOSTNAMES, PAPER_V1_RULES, PAPER_V2_RULES
+
+    tables_world = ("history", "snapshot", "corpus", "classifications", "datings")
+    return (
+        Stage(
+            name="harm",
+            build=build_harm,
+            upstream=tables_world + ("sweep",),
+        ),
+        Stage(
+            name="fig1",
+            build=build_fig1,
+            params={
+                "hostnames": PAPER_HOSTNAMES,
+                "v1_rules": PAPER_V1_RULES,
+                "v2_rules": PAPER_V2_RULES,
+            },
+        ),
+        Stage(name="fig2", build=build_fig2, upstream=("history",)),
+        Stage(name="tab1", build=build_tab1, upstream=("corpus",)),
+        Stage(
+            name="fig3",
+            build=build_fig3,
+            upstream=("corpus", "classifications", "datings"),
+        ),
+        Stage(
+            name="fig4",
+            build=build_fig4,
+            upstream=("corpus", "classifications", "datings"),
+        ),
+        Stage(name="fig5", build=build_fig5, upstream=(f"sweep{FIGURES_SUFFIX}",)),
+        Stage(name="fig6", build=build_fig6, upstream=(f"sweep{FIGURES_SUFFIX}",)),
+        Stage(name="fig7", build=build_fig7, upstream=(f"sweep{FIGURES_SUFFIX}",)),
+        Stage(name="tab2", build=build_tab2, upstream=("harm",)),
+        Stage(name="tab3", build=build_tab3, upstream=("harm",)),
+        Stage(name="ext-categories", build=build_categories, upstream=("history",)),
+        Stage(name="ext-updates", build=build_updates, params={"seed": seed}),
+        Stage(
+            name="ext-notify",
+            build=build_notify,
+            upstream=("corpus", "classifications", "datings", "sweep"),
+        ),
+        Stage(
+            name="ext-exposure",
+            build=build_exposure,
+            upstream=tables_world + ("sweep",),
+        ),
+        Stage(name="ext-forecast", build=build_forecast, upstream=("history",)),
+        Stage(name="ext-whatif", build=build_whatif, upstream=("sweep",)),
+        Stage(
+            name="scorecard",
+            build=build_scorecard,
+            upstream=(
+                "history",
+                "corpus",
+                "classifications",
+                "datings",
+                "harm",
+                f"sweep{FIGURES_SUFFIX}",
+            ),
+        ),
+        # The export writes ./release as a side effect, so it is never
+        # cached — rendering it must always (re)write the bundle.
+        Stage(
+            name="export",
+            build=build_export,
+            upstream=("corpus", "classifications", "datings", "harm", "sweep"),
+            cache=False,
+        ),
+    )
+
+
+def paper_pipeline(
+    seed: int,
+    *,
+    store: ArtifactStore | None = None,
+    sweep: SweepSettings = SweepSettings(),
+    tables: Any | None = None,
+    figures: Any | None = None,
+) -> PaperPipeline:
+    """Assemble the full paper DAG for one seed.
+
+    ``store`` defaults to the process-wide memory store; pass
+    ``ArtifactStore(cache_dir)`` for cross-process reuse.  ``tables`` /
+    ``figures`` override the two worlds' :class:`SnapshotConfig`
+    (tests use slim scales; the CLI uses the paper presets).
+    """
+    store = store if store is not None else memory_store()
+    tables_cfg = tables if tables is not None else tables_config(seed)
+    figures_cfg = figures if figures is not None else figures_config(seed)
+
+    stages: list[Stage] = list(world_stages(seed, tables_cfg, sweep))
+    # The figures world shares history/corpus/classifications/datings
+    # with the tables world (identical fingerprints); only its snapshot
+    # and sweep differ, so only those join the DAG, suffixed.
+    figures_names = {
+        "snapshot": f"snapshot{FIGURES_SUFFIX}",
+        "sweep": f"sweep{FIGURES_SUFFIX}",
+    }
+    for stage in world_stages(seed, figures_cfg, sweep):
+        if stage.name in figures_names:
+            stages.append(stage.renamed(figures_names[stage.name], figures_names))
+
+    holder: dict[str, ExperimentContext] = {}
+    stages.extend(_terminal_stages(seed, holder))
+
+    pipeline = Pipeline(stages, store=store)
+    holder["tables"] = ExperimentContext(
+        seed=seed, snapshot_config=tables_cfg, pipeline=pipeline
+    )
+    holder["figures"] = ExperimentContext(
+        seed=seed,
+        snapshot_config=figures_cfg,
+        pipeline=pipeline,
+        stage_names=figures_names,
+    )
+    return PaperPipeline(
+        seed=seed,
+        pipeline=pipeline,
+        tables=holder["tables"],
+        figures=holder["figures"],
+    )

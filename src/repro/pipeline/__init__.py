@@ -1,0 +1,48 @@
+"""The content-addressed artifact DAG under every figure and table.
+
+The paper's outputs form a natural DAG — history → corpus/snapshot →
+sweep → figures 2-7, tables 1-3, ablations.  This package is the
+persistent, fingerprinted artifact layer every entry point computes
+through:
+
+* :class:`~repro.pipeline.core.Stage` — a typed stage declaration
+  (name, version tag, upstream stages, resolved params, builder);
+* :class:`~repro.pipeline.core.Pipeline` — the DAG executor: build a
+  stage and you get its content-addressed artifact, loaded when the
+  store already holds it, computed from (equally cached) upstreams
+  otherwise;
+* :class:`~repro.pipeline.store.ArtifactStore` /
+  :class:`~repro.pipeline.store.Artifact` — the two-layer store
+  (process memory over an optional on-disk directory) with SHA-256
+  integrity on every payload;
+* :class:`~repro.pipeline.core.PipelineReport` — per-stage hit/miss,
+  bytes, and wall-time observability (``psl-repro --explain``);
+* :func:`repro.fingerprint.fingerprint` (re-exported) — the one
+  canonical keying scheme, shared with the sweep runtime's checkpoint
+  manifests.
+
+The paper's concrete DAG lives in :mod:`repro.analysis.pipeline`.
+"""
+
+from repro.fingerprint import canonical_json, fingerprint
+from repro.pipeline.core import (
+    Pipeline,
+    PipelineReport,
+    Stage,
+    StageContext,
+    StageExecution,
+)
+from repro.pipeline.store import Artifact, ArtifactStore, memory_store
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "Pipeline",
+    "PipelineReport",
+    "Stage",
+    "StageContext",
+    "StageExecution",
+    "canonical_json",
+    "fingerprint",
+    "memory_store",
+]

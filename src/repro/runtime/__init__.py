@@ -20,7 +20,7 @@ Public API:
   every failure mode with.
 """
 
-from repro.runtime.checkpoint import MISSING, CheckpointStore
+from repro.runtime.checkpoint import MISSING, CheckpointStore, atomic_write_bytes
 from repro.runtime.executor import (
     CorruptResultError,
     ExecutionReport,
@@ -53,6 +53,7 @@ __all__ = [
     "ResilientExecutor",
     "RetryPolicy",
     "TaskFailure",
+    "atomic_write_bytes",
     "invoke_with_faults",
     "merge_reports",
 ]

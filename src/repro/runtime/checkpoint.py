@@ -27,12 +27,28 @@ import pickle
 import re
 from typing import Any
 
+from repro.fingerprint import fingerprint as _fingerprint
+
 #: Sentinel for "no checkpoint for this task id" — distinct from a
 #: legitimately-None payload.
 MISSING = object()
 
 _MANIFEST_NAME = "manifest.json"
 _SAFE_ID = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via a temp file and ``os.replace``.
+
+    The shared write discipline for every durable artifact (sweep
+    checkpoints here, pipeline artifacts in
+    :mod:`repro.pipeline.store`): a kill mid-write leaves a temp file,
+    never a half-written final path.
+    """
+    temp = f"{path}.tmp"
+    with open(temp, "wb") as handle:
+        handle.write(payload)
+    os.replace(temp, path)
 
 
 class CheckpointStore:
@@ -56,13 +72,19 @@ class CheckpointStore:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def reconcile(self, fingerprint: str, *, resume: bool = True) -> None:
+    def reconcile(self, fingerprint: Any, *, resume: bool = True) -> None:
         """Bind the store to one run shape, clearing anything stale.
 
+        ``fingerprint`` is either an already-computed digest string or
+        any canonicalizable description of the run, which is keyed
+        through :func:`repro.fingerprint.fingerprint` — the same scheme
+        pipeline artifacts use, so the two layers can never disagree.
         With ``resume=False`` existing checkpoints are always dropped;
         otherwise they survive only when the recorded fingerprint
-        matches ``fingerprint`` exactly.
+        matches exactly.
         """
+        if not isinstance(fingerprint, str):
+            fingerprint = _fingerprint(fingerprint)
         recorded: str | None = None
         try:
             with open(self._manifest_path(), encoding="utf-8") as handle:
@@ -100,11 +122,10 @@ class CheckpointStore:
 
     def save(self, task_id: str, payload: Any) -> None:
         """Atomically spill one completed task's result."""
-        path = self._task_path(task_id)
-        temp = f"{path}.tmp"
-        with open(temp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(temp, path)
+        atomic_write_bytes(
+            self._task_path(task_id),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     def completed_count(self) -> int:
         """How many task results are currently spilled."""

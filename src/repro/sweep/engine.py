@@ -36,12 +36,12 @@ chunks enumerated in its :class:`SweepFailureReport`.
 
 from __future__ import annotations
 
-import hashlib
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from repro.fingerprint import fingerprint
 from repro.history.store import VersionStore
 from repro.runtime import (
     CheckpointStore,
@@ -256,29 +256,36 @@ class SweepEngine:
         sites: bool,
         divergence: bool,
         baseline_index: int,
+        universe_fingerprint: str | None,
     ) -> str:
         """Identity of one sweep's inputs and chunking.
 
         Checkpoints are only reusable when replaying them is guaranteed
-        bit-identical, so the fingerprint covers the history tip, the
-        exact universes, the chunk boundaries, and the series flags.
+        bit-identical, so the material covers the history tip, the
+        universes, the chunk boundaries, and the series flags — keyed
+        through the canonical :func:`repro.fingerprint.fingerprint`
+        scheme shared with the pipeline's artifact store.  When the
+        caller already fingerprinted the universes (the sweep *stage*
+        of :mod:`repro.analysis.pipeline` passes its own artifact
+        fingerprint), that digest substitutes for hashing the universe
+        content again — one keying scheme, not two.
         """
-        hasher = hashlib.sha256()
-        hasher.update(
-            (
-                f"sweep-v1|versions={self.version_count}"
-                f"|tip={self._store.latest.set_digest}"
-                f"|hosts={host_chunk}|pairs={pair_chunk}"
-                f"|sites={sites}|div={divergence}|base={baseline_index}|"
-            ).encode("utf-8")
-        )
-        for host, _labels in prepared:
-            hasher.update(host.encode("utf-8", "surrogatepass"))
-            hasher.update(b"\n")
-        hasher.update(b"|pairs|")
-        for page_host, request_host in pairs:
-            hasher.update(f"{page_host} {request_host}\n".encode("utf-8", "surrogatepass"))
-        return hasher.hexdigest()
+        material: dict[str, Any] = {
+            "scheme": "sweep-v2",
+            "versions": self.version_count,
+            "tip": self._store.latest.set_digest,
+            "host_chunk": host_chunk,
+            "pair_chunk": pair_chunk,
+            "sites": sites,
+            "divergence": divergence,
+            "baseline": baseline_index,
+        }
+        if universe_fingerprint is not None:
+            material["universe"] = universe_fingerprint
+        else:
+            material["hostnames"] = [host for host, _labels in prepared]
+            material["pairs"] = [list(pair) for pair in pairs]
+        return fingerprint(material)
 
     def _run_resilient(
         self,
@@ -343,6 +350,7 @@ class SweepEngine:
         sites: bool = True,
         divergence: bool = True,
         baseline_index: int = -1,
+        universe_fingerprint: str | None = None,
     ) -> SweepSeries:
         """Evaluate a universe under every version in one fan-out.
 
@@ -350,6 +358,10 @@ class SweepEngine:
         and 7), ``pairs`` the third-party series (Figure 6);
         ``baseline_index`` is the version the divergence series
         compares against (default: the newest).
+        ``universe_fingerprint`` optionally identifies the universes by
+        an externally computed digest (the pipeline's sweep-stage
+        fingerprint), sparing the checkpoint manifest a second pass
+        over the content.
         """
         prepared = prepare_hosts(hostnames)
         baseline_rules = (
@@ -378,14 +390,14 @@ class SweepEngine:
             pair_partials = self._run_tasks_raw(run_pair_chunk, pair_tasks)
             self._last_failure_report = None
         else:
-            fingerprint = ""
+            manifest_key = ""
             if self._checkpoint_dir is not None:
-                fingerprint = self._sweep_fingerprint(
+                manifest_key = self._sweep_fingerprint(
                     prepared, pairs, host_chunk_size, pair_chunk_size,
-                    sites, divergence, baseline_index,
+                    sites, divergence, baseline_index, universe_fingerprint,
                 )
             maybe_hosts, maybe_pairs, report = self._run_resilient(
-                host_tasks, pair_tasks, fingerprint
+                host_tasks, pair_tasks, manifest_key
             )
             # Quarantined chunks leave None slots; the merges fold the
             # survivors in original chunk order, so a clean run stays

@@ -47,10 +47,9 @@ def snapshot(world):
 
 @pytest.fixture(scope="session")
 def sweep(world):
-    """The full version sweep over the session snapshot."""
-    from repro.analysis.boundaries import run_sweep
-
-    return run_sweep(world.store, world.snapshot)
+    """The full version sweep over the session snapshot (through the
+    artifact pipeline, so other pipeline users share it)."""
+    return world.sweep_result()
 
 
 @pytest.fixture(scope="session")

@@ -126,7 +126,8 @@ class TestCli:
             assert name in out
 
     def test_experiment_names_cover_paper(self):
-        paper_ids = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab3"}
+        paper_ids = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                     "tab1", "tab2", "tab3"}
         assert paper_ids <= set(EXPERIMENTS)
         extras = set(EXPERIMENTS) - paper_ids
         assert all(
@@ -169,10 +170,10 @@ class TestCli:
         )
 
         def fake_experiment(seed: int) -> str:
-            cli._SWEEP_CACHE[object()] = degraded  # what _sweep_for would cache
+            cli._SWEEP_SINK.append(degraded)  # what a computed sweep reports
             return "fake degraded output"
 
-        monkeypatch.setattr(cli, "_SWEEP_CACHE", {})
+        monkeypatch.setattr(cli, "_SWEEP_SINK", [])
         monkeypatch.setitem(EXPERIMENTS, "ext-fake", ("fake", fake_experiment))
         monkeypatch.chdir(tmp_path)
         assert main(["ext-fake"]) == cli.EXIT_DEGRADED
