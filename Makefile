@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline
+.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve serve-smoke
 
 test:  ## tier-1: the full fast suite
 	$(PYTHON) -m pytest -x -q
@@ -24,3 +24,9 @@ bench-runtime:  ## the resilient-runtime overhead gate (<10% on fault-free sweep
 
 bench-pipeline:  ## the artifact-pipeline gates (warm >= 5x cold, cold overhead < 10%)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_pipeline.py -m bench -q -s
+
+bench-serve:  ## the serving-layer gates (cached >= 50x rebuild, batch >= 5x singles)
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_serve.py -m bench -q -s
+
+serve-smoke:  ## start psl-serve on an ephemeral port, hit every endpoint, assert JSON shapes
+	$(PYTHON) -m repro.serve.cli --smoke

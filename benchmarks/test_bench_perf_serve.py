@@ -1,0 +1,164 @@
+"""PERF — the serving layer: snapshot caching and batch amortization.
+
+Two gates guard ``repro.serve`` (ISSUE 5 acceptance):
+
+* **cached singles >= 50x uncached rebuild** — a cached engine lookup
+  must beat the naive no-snapshot service design (checkout the rule
+  set and rebuild the trie per request, i.e.
+  ``PublicSuffixList(rules).match(host)``) by at least 50x per
+  lookup.  This is the whole point of immutable resident snapshots:
+  the trie build is paid once per version, not once per request.
+* **batch >= 5x singles per hostname** — over real HTTP on an
+  ephemeral port, answering N hostnames through one ``/batch`` POST
+  must cost at most 1/5th per hostname of N separate ``/site`` GETs.
+  Request framing dominates single lookups; the batch API exists to
+  amortize it.
+
+Both run against the full synthesized history (the 9,368-rule final
+version), Zipf-shaped hostname traffic (real consumers repeat names).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, save_artifact
+from repro.history.synthesis import SynthesisConfig, synthesize_history
+from repro.psl.list import PublicSuffixList
+from repro.serve.engine import QueryEngine
+from repro.serve.http import PslServer
+from repro.serve.snapshots import SnapshotRegistry
+
+pytestmark = pytest.mark.bench
+
+MIN_CACHED_VS_REBUILD = 50.0
+MIN_BATCH_VS_SINGLES = 5.0
+
+CACHED_LOOKUPS = 20_000
+REBUILD_LOOKUPS = 5
+HTTP_SINGLES = 150
+HTTP_BATCH_ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def history():
+    return synthesize_history(SynthesisConfig(seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="module")
+def hostnames(history):
+    """Zipf-repeating traffic over suffixes the final list really has."""
+    psl = history.checkout(-1)
+    suffixes = [rule.name for rule in psl.rules if "*" not in rule.text][:2_000]
+    rng = random.Random(BENCH_SEED)
+    distinct = [
+        f"www{index}.site{index % 97}.{rng.choice(suffixes)}"
+        for index in range(2_000)
+    ]
+    # Zipf-ish: heavy repetition of a small head, long sparse tail.
+    traffic = []
+    for position in range(CACHED_LOOKUPS):
+        if position % 10 < 8:
+            traffic.append(distinct[position % 100])
+        else:
+            traffic.append(distinct[position % len(distinct)])
+    return traffic
+
+
+def test_bench_cached_lookup_vs_trie_rebuild(history, hostnames):
+    registry = SnapshotRegistry(history)
+    engine = QueryEngine(registry, cache_capacity=65_536)
+    rules = history.rules_at(-1)
+
+    # Warm the cache with one pass, then time the cached steady state.
+    for host in hostnames[:2_000]:
+        engine.site(host)
+    started = time.perf_counter()
+    for host in hostnames:
+        engine.site(host)
+    cached_per = (time.perf_counter() - started) / len(hostnames)
+
+    # The no-snapshot baseline: every request rebuilds the trie.
+    started = time.perf_counter()
+    for host in hostnames[:REBUILD_LOOKUPS]:
+        PublicSuffixList(rules).match(host)
+    rebuild_per = (time.perf_counter() - started) / REBUILD_LOOKUPS
+
+    speedup = rebuild_per / cached_per
+    stats = engine.stats()
+    lines = [
+        f"cached engine lookup:   {cached_per * 1e6:8.2f} µs/hostname "
+        f"(hit rate {stats.hit_rate:.1%}, {stats.entries} entries)",
+        f"rebuild-per-request:    {rebuild_per * 1e3:8.2f} ms/hostname "
+        f"({len(rules)} rules)",
+        f"speedup:                {speedup:8.0f}x   (gate: >= {MIN_CACHED_VS_REBUILD:.0f}x)",
+    ]
+    print()
+    for line in lines:
+        print("  " + line)
+    save_artifact("bench_perf_serve_cached.txt", "\n".join(lines) + "\n")
+    assert speedup >= MIN_CACHED_VS_REBUILD
+
+
+def test_bench_batch_amortizes_http_overhead(history, hostnames):
+    registry = SnapshotRegistry(history)
+    engine = QueryEngine(registry, cache_capacity=65_536)
+    server = PslServer(("127.0.0.1", 0), registry, engine=engine, max_inflight=64)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = server.url
+        batch_hosts = hostnames[:HTTP_SINGLES]
+
+        def get(path: str) -> None:
+            with urllib.request.urlopen(base + path, timeout=30) as response:
+                response.read()
+
+        def post_batch(hosts: list[str]) -> None:
+            payload = json.dumps({"hostnames": hosts}).encode()
+            request = urllib.request.Request(
+                base + "/batch", data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                response.read()
+
+        # Warm: sockets, caches, code paths.
+        get(f"/site?host={batch_hosts[0]}")
+        post_batch(batch_hosts)
+
+        started = time.perf_counter()
+        for host in batch_hosts:
+            get(f"/site?host={host}")
+        singles_per = (time.perf_counter() - started) / len(batch_hosts)
+
+        started = time.perf_counter()
+        for _ in range(HTTP_BATCH_ROUNDS):
+            post_batch(batch_hosts)
+        batch_per = (time.perf_counter() - started) / (
+            HTTP_BATCH_ROUNDS * len(batch_hosts)
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    advantage = singles_per / batch_per
+    lines = [
+        f"single /site over HTTP: {singles_per * 1e6:8.1f} µs/hostname "
+        f"({HTTP_SINGLES} requests)",
+        f"/batch over HTTP:       {batch_per * 1e6:8.1f} µs/hostname "
+        f"({HTTP_BATCH_ROUNDS} x {len(batch_hosts)}-hostname batches)",
+        f"batch advantage:        {advantage:8.1f}x   (gate: >= {MIN_BATCH_VS_SINGLES:.0f}x)",
+    ]
+    print()
+    for line in lines:
+        print("  " + line)
+    save_artifact("bench_perf_serve_batch.txt", "\n".join(lines) + "\n")
+    assert advantage >= MIN_BATCH_VS_SINGLES

@@ -12,6 +12,8 @@ from repro.net.hostname import (
     is_ip_literal,
     join_labels,
     normalize_hostname,
+    normalize_or_none,
+    normalize_or_reject,
     split_labels,
     validate_label,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "is_ip_literal",
     "join_labels",
     "normalize_hostname",
+    "normalize_or_none",
+    "normalize_or_reject",
     "parse_url",
     "split_labels",
     "validate_label",

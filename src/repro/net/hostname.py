@@ -101,6 +101,57 @@ def normalize_hostname(value: str) -> str:
     return candidate
 
 
+def normalize_or_reject(value: object) -> str:
+    """The one normalize-or-reject gate shared by every ingest path.
+
+    Request-serving (:mod:`repro.serve`) and streaming ingest
+    (:mod:`repro.webgraph.stream`) both admit hostnames from sources no
+    browser vetted — query strings, crawl exports — and both used to
+    carry their own ad-hoc checks.  This helper is the single policy:
+    :func:`normalize_hostname` (case, surrounding whitespace, one
+    trailing root dot, label structure, IP-literal refusal) plus a
+    proof that non-ASCII names survive IDNA conversion, since the PSL
+    algorithm is defined over A-labels and a name that cannot reach
+    A-label form can never be matched.
+
+    Returns the normalized (still U-label) form; raises
+    :class:`HostnameError` with a machine-readable ``reason`` otherwise.
+
+    >>> normalize_or_reject("WWW.Example.COM.")
+    'www.example.com'
+    """
+    if not isinstance(value, str):
+        raise HostnameError(repr(value), "not a string")
+    candidate = normalize_hostname(value)
+    if not candidate.isascii():
+        # Deferred import: IDNA encoding lives in the PSL layer, and
+        # importing it at module scope would invert the net <- psl
+        # layering for the many callers that never take this branch.
+        from repro.psl.errors import PslError
+        from repro.psl.idna import to_ascii
+
+        try:
+            to_ascii(candidate)  # validate encodability only
+        except (PslError, UnicodeError) as exc:
+            raise HostnameError(value, f"not IDNA-encodable: {exc}") from exc
+    return candidate
+
+
+def normalize_or_none(value: object) -> str | None:
+    """:func:`normalize_or_reject`, with rejection as ``None``.
+
+    The streaming counters use this form: a malformed crawl row should
+    bump a ``skipped`` counter, not unwind the pass.
+
+    >>> normalize_or_none("bad..name") is None
+    True
+    """
+    try:
+        return normalize_or_reject(value)
+    except HostnameError:
+        return None
+
+
 @dataclass(frozen=True, slots=True)
 class Hostname:
     """An immutable, validated, normalized hostname.

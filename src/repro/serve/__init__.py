@@ -1,0 +1,62 @@
+"""The request-serving subsystem: concurrent PSL queries over HTTP.
+
+Everything before this package answers questions in batch — sweeps,
+figures, tables.  :mod:`repro.serve` is the long-lived query surface a
+production consumer (browser fleet, mail infrastructure, crawler)
+would actually hit: an always-on service that answers site / classify
+/ compare questions from immutable versioned snapshots, hot-swaps list
+versions atomically under live traffic, and reports its own health as
+Prometheus metrics.
+
+Layering::
+
+    SnapshotRegistry  (snapshots.py)  versioned immutable snapshots,
+         |                            atomic copy-on-write hot-swap
+    QueryEngine       (engine.py)     thread-safe sharded LRU caching,
+         |                            single/batch/compare APIs
+    PslServer         (http.py)       ThreadingHTTPServer + admission
+         |                            control + structured errors
+    psl-serve         (cli.py)        console entry point + smoke test
+
+See ``docs/architecture.md`` (Serving layer) and
+``examples/serve_queries.py`` for a driving tour.
+"""
+
+from repro.serve.engine import (
+    BatchAnswer,
+    BatchItemError,
+    ClassifyAnswer,
+    CompareAnswer,
+    EngineStats,
+    QueryEngine,
+    SiteAnswer,
+)
+from repro.serve.http import PslServer, serve_forever
+from repro.serve.metrics import (
+    CallbackGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serve.snapshots import PslSnapshot, SnapshotRegistry, UnknownVersionError
+
+__all__ = [
+    "BatchAnswer",
+    "BatchItemError",
+    "CallbackGauge",
+    "ClassifyAnswer",
+    "CompareAnswer",
+    "Counter",
+    "EngineStats",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PslServer",
+    "PslSnapshot",
+    "QueryEngine",
+    "SiteAnswer",
+    "SnapshotRegistry",
+    "UnknownVersionError",
+    "serve_forever",
+]

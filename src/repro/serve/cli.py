@@ -1,0 +1,271 @@
+"""The ``psl-serve`` command: run the PSL query service.
+
+Usage::
+
+    psl-serve                          # latest version, port 8053
+    psl-serve --port 0                 # ephemeral port (printed)
+    psl-serve --version 2019-06-01     # pin an historical version
+    psl-serve --cache-dir .psl-cache   # warm the history from the
+                                       # artifact store (repro.pipeline)
+    psl-serve --smoke                  # self-test: start on an
+                                       # ephemeral port, hit every
+                                       # endpoint, assert JSON shapes
+
+With ``--cache-dir`` the history comes out of the same
+content-addressed :class:`~repro.pipeline.ArtifactStore` that
+``psl-repro --cache-dir`` populates, so a box that has rendered any
+figure starts the server without re-synthesizing the world.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+from typing import Callable
+
+from repro.history.store import VersionStore
+from repro.history.synthesis import SynthesisConfig, synthesize_history
+from repro.serve.engine import QueryEngine
+from repro.serve.http import DEFAULT_MAX_INFLIGHT, PslServer, serve_forever
+from repro.serve.snapshots import SnapshotRegistry
+
+DEFAULT_PORT = 8053
+DEFAULT_SEED = 20230701
+
+
+def build_store(seed: int, cache_dir: str | None) -> VersionStore:
+    """The version history to serve, warmed from ``cache_dir`` if given.
+
+    The cached path reuses the paper pipeline's ``history`` stage
+    verbatim — same stage, same fingerprint — so the server and
+    ``psl-repro`` share one artifact rather than each keeping a private
+    copy of the world.
+    """
+    if cache_dir is None:
+        return synthesize_history(SynthesisConfig(seed=seed))
+    from repro.analysis.context import SweepSettings, world_stages
+    from repro.pipeline import ArtifactStore, Pipeline
+    from repro.webgraph.synthesis import SnapshotConfig
+
+    pipeline = Pipeline(
+        world_stages(seed, SnapshotConfig(seed=seed), SweepSettings()),
+        store=ArtifactStore(cache_dir),
+    )
+    return pipeline.build("history")
+
+
+def build_server(args: argparse.Namespace) -> PslServer:
+    """Assemble store -> registry -> engine -> server from parsed flags."""
+    store = build_store(args.seed, args.cache_dir)
+    registry = SnapshotRegistry(
+        store, active=args.version, resident_capacity=args.resident
+    )
+    engine = QueryEngine(
+        registry, cache_capacity=args.cache_capacity, shards=args.shards
+    )
+    return PslServer(
+        (args.host, args.port),
+        registry,
+        engine=engine,
+        max_inflight=args.max_inflight,
+        quiet=not args.verbose,
+    )
+
+
+# -- the smoke self-test -----------------------------------------------------
+
+def _fetch(url: str, *, data: bytes | None = None) -> tuple[int, bytes]:
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"} if data else {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def run_smoke(base: str) -> list[str]:
+    """Drive every endpoint over real HTTP; returns failure messages.
+
+    This is what ``make serve-smoke`` runs: each check issues a real
+    request and asserts the JSON shape a client would parse.
+    """
+    failures: list[str] = []
+
+    def check(name: str, condition: bool, detail: str = "") -> None:
+        line = f"{'ok' if condition else 'FAIL':4s} {name}"
+        if detail and not condition:
+            line += f" — {detail}"
+        print(line)
+        if not condition:
+            failures.append(name)
+
+    def get_json(path: str, *, data: bytes | None = None) -> tuple[int, dict]:
+        status, raw = _fetch(base + path, data=data)
+        return status, json.loads(raw)
+
+    status, body = get_json("/healthz")
+    check("/healthz status", status == 200 and body.get("status") == "ok", str(body))
+    check("/healthz shape", {"active", "generation", "uptime_seconds"} <= set(body))
+
+    status, body = get_json("/site?host=www.example.co.uk")
+    check("/site status", status == 200, str(status))
+    check(
+        "/site shape",
+        {"hostname", "site", "public_suffix", "registrable_domain", "version"} <= set(body),
+        str(body),
+    )
+
+    status, body = get_json("/site?host=bad..name")
+    check("/site 400 on malformed", status == 400, str(status))
+    check(
+        "/site error shape",
+        body.get("error", {}).get("kind") == "invalid_hostname"
+        and "reason" in body.get("error", {}),
+        str(body),
+    )
+
+    payload = json.dumps(
+        {"hostnames": ["a.example.com", "b.example.org", "white space.bad"]}
+    ).encode()
+    status, body = get_json("/batch", data=payload)
+    check("/batch status", status == 200, str(status))
+    check(
+        "/batch shape",
+        body.get("count") == 3 and body.get("errors") == 1 and len(body.get("answers", [])) == 3,
+        str(body)[:200],
+    )
+
+    status, body = get_json("/classify?page=www.shop.example&request=cdn.tracker.example")
+    check("/classify status", status == 200, str(status))
+    check(
+        "/classify shape",
+        isinstance(body.get("third_party"), bool) and "page" in body and "request" in body,
+        str(body)[:200],
+    )
+
+    status, body = get_json("/compare?host=www.example.co.uk&old=0")
+    check("/compare status", status == 200, str(status))
+    check(
+        "/compare shape",
+        isinstance(body.get("diverges"), bool) and "old" in body and "new" in body,
+        str(body)[:200],
+    )
+
+    status, body = get_json("/versions?limit=3")
+    check("/versions status", status == 200, str(status))
+    check(
+        "/versions shape",
+        "count" in body and "active" in body and len(body.get("versions", [])) <= 3,
+        str(body)[:200],
+    )
+
+    status, body = get_json("/swap?version=0", data=b"{}")
+    check("/swap to v0", status == 200 and body.get("active", {}).get("index") == 0, str(body))
+    status, body = get_json("/swap?version=latest", data=b"{}")
+    check("/swap back to latest", status == 200, str(body))
+
+    status, body = get_json("/nowhere")
+    check("unknown path is 404", status == 404, str(status))
+
+    status, raw = _fetch(base + "/metrics")
+    text = raw.decode()
+    check("/metrics status", status == 200, str(status))
+    for needle in (
+        "psl_serve_requests_total",
+        "psl_serve_request_seconds_bucket",
+        "psl_serve_cache_hit_ratio",
+        "psl_serve_snapshot_age_days",
+        "psl_serve_snapshot_swaps_total",
+    ):
+        check(f"/metrics exposes {needle}", needle in text)
+
+    return failures
+
+
+def _smoke_main(args: argparse.Namespace) -> int:
+    args.port = 0  # ephemeral: the smoke test must not fight over a port
+    print("building history…", flush=True)
+    server = build_server(args)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"serving on {server.url} (version v{server.registry.active.index})")
+    try:
+        failures = run_smoke(server.url)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    if failures:
+        print(f"\nsmoke FAILED: {len(failures)} check(s): {', '.join(failures)}")
+        return 1
+    print("\nsmoke ok: every endpoint answered with the documented shape")
+    return 0
+
+
+# -- entry point -------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psl-serve",
+        description="Serve PSL queries over HTTP with hot-swappable versioned snapshots.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="bind port (0 = ephemeral)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="world seed for the synthetic history")
+    parser.add_argument(
+        "--version",
+        default="latest",
+        help="initial active version: index, ISO date, or 'latest'",
+    )
+    parser.add_argument(
+        "--resident", type=int, default=4,
+        help="how many extra versions stay materialized for /compare",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=65536,
+        help="total suffix-match cache entries across shards",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=8,
+        help="cache shard count (lock granularity)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
+        help="concurrent requests admitted before shedding 503s",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="warm the history from this repro.pipeline artifact store",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log each request")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="self-test: serve on an ephemeral port, hit every endpoint, exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _smoke_main(args)
+
+    print("building history…", flush=True)
+    started = time.perf_counter()
+    server = build_server(args)
+    active = server.registry.active
+    print(
+        f"psl-serve: {len(server.registry)} versions loaded in "
+        f"{time.perf_counter() - started:.1f}s; active v{active.index} "
+        f"({active.date}, {active.rule_count} rules)"
+    )
+    print(f"listening on {server.url}  (Ctrl-C to stop)")
+    serve_forever(server)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,420 @@
+"""The HTTP front end: stdlib threading server over the query engine.
+
+One :class:`PslServer` (a ``ThreadingHTTPServer``) owns a
+:class:`~repro.serve.snapshots.SnapshotRegistry`, a
+:class:`~repro.serve.engine.QueryEngine`, and a
+:class:`~repro.serve.metrics.MetricsRegistry`, and exposes:
+
+=================  ======  ===================================================
+``/site``          GET     ``?host=H[&version=V]`` — one lookup
+``/batch``         POST    ``{"hostnames": [...]}`` — many, snapshot-pinned
+``/classify``      GET     ``?page=P&request=R`` — third-party verdict
+``/compare``       GET     ``?host=H&old=V[&new=V2]`` — cross-version probe
+``/versions``      GET     history + registry state (``?limit=N``)
+``/swap``          POST    ``?version=V`` — atomic hot-swap
+``/healthz``       GET     liveness + active version
+``/metrics``       GET     Prometheus text exposition
+=================  ======  ===================================================
+
+Graceful degradation is a design rule, not an accident:
+
+* **bounded in-flight work** — a non-blocking semaphore admits at most
+  ``max_inflight`` concurrent requests; excess load is shed instantly
+  with a 503 (and counted) instead of queueing into collapse.
+  ``/healthz`` and ``/metrics`` bypass the gate so the service stays
+  observable *while* overloaded.
+* **malformed input** — hostnames are vetted by
+  :func:`repro.net.hostname.normalize_or_reject`; rejection is a
+  structured 400 carrying the machine-readable reason, never a stack
+  trace.
+* **unknown versions** — 404 with the offending spec.
+* **anything else** — a 500 with an opaque body; the handler never
+  lets an exception reach the socket layer, so one poisoned request
+  cannot take a worker thread down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.net.errors import HostnameError
+from repro.serve.engine import QueryEngine
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.snapshots import SnapshotRegistry, UnknownVersionError
+
+DEFAULT_MAX_INFLIGHT = 64
+#: Request-body ceiling (bytes): a batch of ~100k hostnames fits; a
+#: memory-exhaustion payload does not.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Per-request batch size ceiling; larger workloads should page.
+MAX_BATCH_HOSTNAMES = 100_000
+
+
+class _Reject(Exception):
+    """Internal control flow: abort the request with (status, error body)."""
+
+    def __init__(self, status: int, kind: str, detail: dict | None = None) -> None:
+        self.status = status
+        self.body = {"error": {"kind": kind, **(detail or {})}}
+        super().__init__(kind)
+
+
+class PslServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one registry + engine."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: SnapshotRegistry,
+        *,
+        engine: QueryEngine | None = None,
+        metrics: MetricsRegistry | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        self.registry = registry
+        self.engine = engine if engine is not None else QueryEngine(registry)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.gate = threading.Semaphore(max_inflight)
+        self.max_inflight = max_inflight
+        self.quiet = quiet
+        self.started_at = time.time()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._install_metrics()
+
+    # -- metrics wiring ------------------------------------------------------
+
+    def _install_metrics(self) -> None:
+        metrics = self.metrics
+        self.requests_total = metrics.counter(
+            "psl_serve_requests_total",
+            "Requests handled, by endpoint and status code.",
+            ("endpoint", "status"),
+        )
+        self.rejected_total = metrics.counter(
+            "psl_serve_rejected_total",
+            "Requests shed by admission control (503, never processed).",
+        )
+        self.latency = metrics.histogram(
+            "psl_serve_request_seconds",
+            "Request wall time in seconds, by endpoint.",
+            ("endpoint",),
+        )
+        self.lookups_total = metrics.counter(
+            "psl_serve_hostname_lookups_total",
+            "Individual hostname lookups performed (batch items count each).",
+        )
+        engine, registry = self.engine, self.registry
+        metrics.callback_gauge(
+            "psl_serve_cache_hits_total",
+            "Suffix-match cache hits across every shard.",
+            lambda: engine.stats().hits,
+        )
+        metrics.callback_gauge(
+            "psl_serve_cache_misses_total",
+            "Suffix-match cache misses across every shard.",
+            lambda: engine.stats().misses,
+        )
+        metrics.callback_gauge(
+            "psl_serve_cache_hit_ratio",
+            "Cache hits / (hits + misses) since start.",
+            lambda: engine.stats().hit_rate,
+        )
+        metrics.callback_gauge(
+            "psl_serve_cache_entries",
+            "Live suffix-match cache entries across every shard.",
+            lambda: engine.stats().entries,
+        )
+        metrics.callback_gauge(
+            "psl_serve_snapshot_index",
+            "History index of the active snapshot.",
+            lambda: registry.active.index,
+        )
+        metrics.callback_gauge(
+            "psl_serve_snapshot_age_days",
+            "Age of the active snapshot's list version in days (staleness).",
+            lambda: registry.active.age_days(),
+        )
+        metrics.callback_gauge(
+            "psl_serve_snapshot_rules",
+            "Rule count of the active snapshot.",
+            lambda: registry.active.rule_count,
+        )
+        metrics.callback_gauge(
+            "psl_serve_snapshot_swaps_total",
+            "Completed hot-swaps since start.",
+            lambda: registry.generation,
+        )
+        metrics.callback_gauge(
+            "psl_serve_resident_snapshots",
+            "Snapshots currently materialized (active + compare residents).",
+            lambda: len(registry.resident_indexes()),
+        )
+        metrics.callback_gauge(
+            "psl_serve_inflight_requests",
+            "Requests currently being processed.",
+            lambda: self.inflight,
+        )
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def _enter(self) -> bool:
+        if not self.gate.acquire(blocking=False):
+            return False
+        with self._inflight_lock:
+            self._inflight += 1
+        return True
+
+    def _leave(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+        self.gate.release()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (useful with an ephemeral port)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests; every reply is JSON except ``/metrics``."""
+
+    protocol_version = "HTTP/1.1"
+    server: PslServer  # narrowed for the attribute accesses below
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        if status >= 400:
+            # An errored request may have an unread body (e.g. a shed
+            # POST); keeping the connection would desync the framing.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-reply; nothing to salvage
+
+    def _send_json(self, status: int, body: dict) -> None:
+        self._send(status, json.dumps(body).encode("utf-8"), "application/json")
+
+    def _query(self) -> dict[str, str]:
+        raw = parse_qs(urlsplit(self.path).query)
+        return {key: values[-1] for key, values in raw.items()}
+
+    def _endpoint(self) -> str:
+        return urlsplit(self.path).path.rstrip("/") or "/"
+
+    def _required(self, query: dict[str, str], name: str) -> str:
+        value = query.get(name)
+        if not value:
+            raise _Reject(400, "missing_parameter", {"parameter": name})
+        return value
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _Reject(413, "body_too_large", {"limit_bytes": MAX_BODY_BYTES})
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _Reject(400, "empty_body")
+        try:
+            body = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _Reject(400, "malformed_json", {"detail": str(exc)}) from exc
+        if not isinstance(body, dict):
+            raise _Reject(400, "malformed_json", {"detail": "body must be an object"})
+        return body
+
+    # -- dispatch ------------------------------------------------------------
+
+    _GET_ROUTES = {
+        "/site": "_get_site",
+        "/classify": "_get_classify",
+        "/compare": "_get_compare",
+        "/versions": "_get_versions",
+        "/healthz": "_get_healthz",
+        "/metrics": "_get_metrics",
+    }
+    _POST_ROUTES = {
+        "/batch": "_post_batch",
+        "/swap": "_post_swap",
+    }
+    #: Observability endpoints stay reachable under load shedding.
+    _UNGATED = frozenset({"/healthz", "/metrics"})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        self._handle(self._GET_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        self._handle(self._POST_ROUTES)
+
+    def _handle(self, routes: dict[str, str]) -> None:
+        server = self.server
+        endpoint = self._endpoint()
+        method = routes.get(endpoint)
+        if method is None:
+            known = endpoint in self._GET_ROUTES or endpoint in self._POST_ROUTES
+            status = 405 if known else 404
+            kind = "method_not_allowed" if known else "not_found"
+            self._send_json(status, {"error": {"kind": kind, "path": endpoint}})
+            server.requests_total.inc(endpoint=endpoint if known else "<unknown>", status=str(status))
+            return
+
+        gated = endpoint not in self._UNGATED
+        if gated and not server._enter():
+            server.rejected_total.inc()
+            server.requests_total.inc(endpoint=endpoint, status="503")
+            self._send_json(
+                503,
+                {"error": {"kind": "overloaded", "max_inflight": server.max_inflight}},
+            )
+            return
+
+        # Compute first, record metrics second, write the response
+        # LAST: the moment a client can observe its reply, the
+        # counters already reflect it — so a scrape issued right after
+        # the final request of a load can never undercount.
+        started = time.perf_counter()
+        try:
+            try:
+                status, payload = getattr(self, method)()
+            except _Reject as rejection:
+                status, payload = rejection.status, rejection.body
+            except HostnameError as exc:
+                status = 400
+                payload = {
+                    "error": {
+                        "kind": "invalid_hostname",
+                        "value": exc.value,
+                        "reason": exc.reason,
+                    }
+                }
+            except UnknownVersionError as exc:
+                status = 404
+                payload = {
+                    "error": {
+                        "kind": "unknown_version",
+                        "value": str(exc.spec),
+                        "reason": exc.reason,
+                    }
+                }
+            except Exception:  # the never-crash contract
+                status, payload = 500, {"error": {"kind": "internal"}}
+        finally:
+            if gated:
+                server._leave()
+        server.requests_total.inc(endpoint=endpoint, status=str(status))
+        server.latency.observe(time.perf_counter() - started, endpoint=endpoint)
+        if isinstance(payload, bytes):
+            self._send(status, payload, "text/plain; version=0.0.4")
+        else:
+            self._send_json(status, payload)
+
+    # -- endpoints (each returns (status, payload); bytes = plain text) ------
+
+    def _get_site(self) -> tuple[int, dict]:
+        query = self._query()
+        host = self._required(query, "host")
+        answer = self.server.engine.site(host, version=query.get("version"))
+        self.server.lookups_total.inc()
+        return 200, answer.to_json()
+
+    def _get_classify(self) -> tuple[int, dict]:
+        query = self._query()
+        page = self._required(query, "page")
+        request = self._required(query, "request")
+        answer = self.server.engine.classify(page, request, version=query.get("version"))
+        self.server.lookups_total.inc(2)
+        return 200, answer.to_json()
+
+    def _get_compare(self) -> tuple[int, dict]:
+        query = self._query()
+        host = self._required(query, "host")
+        old = self._required(query, "old")
+        answer = self.server.engine.compare(host, old, query.get("new"))
+        self.server.lookups_total.inc(2)
+        return 200, answer.to_json()
+
+    def _get_versions(self) -> tuple[int, dict]:
+        query = self._query()
+        limit: int | None = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                raise _Reject(400, "malformed_parameter", {"parameter": "limit"}) from None
+        return 200, self.server.registry.describe(limit=limit)
+
+    def _get_healthz(self) -> tuple[int, dict]:
+        registry = self.server.registry
+        return 200, {
+            "status": "ok",
+            "active": registry.active.describe(),
+            "generation": registry.generation,
+            "uptime_seconds": round(time.time() - self.server.started_at, 3),
+            "inflight": self.server.inflight,
+        }
+
+    def _get_metrics(self) -> tuple[int, bytes]:
+        return 200, self.server.metrics.render().encode("utf-8")
+
+    def _post_batch(self) -> tuple[int, dict]:
+        body = self._read_body()
+        hostnames = body.get("hostnames")
+        if not isinstance(hostnames, list) or not all(
+            isinstance(h, str) for h in hostnames
+        ):
+            raise _Reject(400, "malformed_batch", {"detail": "'hostnames' must be a list of strings"})
+        if len(hostnames) > MAX_BATCH_HOSTNAMES:
+            raise _Reject(413, "batch_too_large", {"limit": MAX_BATCH_HOSTNAMES})
+        answer = self.server.engine.batch(hostnames, version=body.get("version"))
+        self.server.lookups_total.inc(len(hostnames))
+        return 200, answer.to_json()
+
+    def _post_swap(self) -> tuple[int, dict]:
+        query = self._query()
+        spec = query.get("version")
+        if spec is None:
+            body = self._read_body()
+            spec = body.get("version")
+        if spec is None:
+            raise _Reject(400, "missing_parameter", {"parameter": "version"})
+        snapshot = self.server.registry.activate(spec)
+        return 200, {
+            "active": snapshot.describe(),
+            "generation": self.server.registry.generation,
+        }
+
+
+def serve_forever(server: PslServer) -> None:
+    """Run until interrupted; the CLI's blocking loop."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()

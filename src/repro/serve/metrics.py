@@ -1,0 +1,298 @@
+"""Prometheus-style metrics, stdlib only.
+
+A deliberately small instrument set — :class:`Counter`,
+:class:`Gauge`, :class:`Histogram`, plus callback gauges sampled at
+scrape time — rendering the Prometheus text exposition format
+(version 0.0.4) that any scraper ingests.  No client library exists in
+this environment, and the serving layer needs only the four metric
+shapes below, so this is a faithful subset, not a reimplementation:
+labeled samples, cumulative histogram buckets with ``+Inf``, and
+``# HELP`` / ``# TYPE`` headers.
+
+Each instrument takes its own mutex; the handler path touches two or
+three per request, and uncontended lock acquisition is tens of
+nanoseconds — invisible next to a socket read.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping, Sequence
+
+#: Default latency buckets (seconds): tuned for an in-memory lookup
+#: service — sub-millisecond cache hits through pathological tail.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+def _format_value(value: float) -> str:
+    """Integers render bare (``17``), floats with full precision."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared naming/help plumbing for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing labeled counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            labels = dict(zip(self.labelnames, key))
+            lines.append(f"{self.name}{_format_labels(labels)} {_format_value(value)}")
+        if not items and not self.labelnames:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class Gauge(_Metric):
+    """A set-to-current-value gauge (optionally labeled)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            labels = dict(zip(self.labelnames, key))
+            lines.append(f"{self.name}{_format_labels(labels)} {_format_value(value)}")
+        if not items and not self.labelnames:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (the Prometheus layout).
+
+    Per label set it tracks bucket counts, a running sum, and a total
+    count, rendered as ``_bucket{le=...}``, ``_sum``, ``_count`` — the
+    shape every latency dashboard expects.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self._counts: dict[tuple[str, ...], list[int]] = {}
+        self._sums: dict[tuple[str, ...], float] = {}
+        self._totals: dict[tuple[str, ...], int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * len(self.buckets)
+                self._counts[key] = counts
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[position] += 1
+                    break
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        key = self._key(labels)
+        with self._lock:
+            return self._totals.get(key, 0)
+
+    def sum(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            keys = sorted(self._counts)
+            snapshot = {
+                key: (list(self._counts[key]), self._sums[key], self._totals[key])
+                for key in keys
+            }
+        for key in keys:
+            counts, total_sum, total = snapshot[key]
+            labels = dict(zip(self.labelnames, key))
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                bucket_labels = dict(labels, le=_format_value(bound))
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+            inf_labels = dict(labels, le="+Inf")
+            lines.append(f"{self.name}_bucket{_format_labels(inf_labels)} {total}")
+            lines.append(f"{self.name}_sum{_format_labels(labels)} {_format_value(total_sum)}")
+            lines.append(f"{self.name}_count{_format_labels(labels)} {total}")
+        return lines
+
+
+class CallbackGauge(_Metric):
+    """A gauge whose value is sampled from a callable at scrape time.
+
+    The serving layer points these at live state — snapshot age, cache
+    hit ratio, resident count — so ``/metrics`` always reflects *now*
+    without every code path pushing updates.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, callback: Callable[[], float]) -> None:
+        super().__init__(name, help_text, ())
+        self._callback = callback
+
+    def value(self) -> float:
+        return float(self._callback())
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        try:
+            value = self.value()
+        except Exception:  # a broken callback must never break the scrape
+            return lines
+        lines.append(f"{self.name} {_format_value(value)}")
+        return lines
+
+
+class MetricsRegistry:
+    """The set of instruments one server exposes at ``/metrics``."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, labelnames))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(  # type: ignore[return-value]
+            Histogram(name, help_text, labelnames, buckets=buckets)
+        )
+
+    def callback_gauge(
+        self, name: str, help_text: str, callback: Callable[[], float]
+    ) -> CallbackGauge:
+        return self._register(CallbackGauge(name, help_text, callback))  # type: ignore[return-value]
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """The full text exposition (trailing newline included)."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

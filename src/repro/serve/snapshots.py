@@ -1,0 +1,285 @@
+"""Immutable PSL snapshots and the hot-swap registry.
+
+The serving layer's core object is the :class:`PslSnapshot`: one
+materialized list version — compiled suffix trie plus the
+:class:`~repro.history.version.PslVersion` metadata that dates it.
+Snapshots are frozen; nothing about one ever changes after
+construction, which is what makes the concurrency story trivial for
+readers: a request thread grabs a snapshot reference once and keeps
+answering from it even while an operator swaps the registry to a
+different version mid-request.
+
+The :class:`SnapshotRegistry` provides:
+
+* **atomic hot-swap** — :meth:`~SnapshotRegistry.activate` builds the
+  replacement completely *before* publishing it with a single
+  reference assignment (copy-on-write), so no reader can ever observe
+  a half-built trie;
+* **multi-version residency** — a bounded LRU of additional resident
+  snapshots for "what would version X say" probes
+  (:meth:`~SnapshotRegistry.resident`), the serving-side analogue of
+  the paper's Figure 7 divergence measurement.
+
+Stale-copy misclassification is the paper's central harm; a registry
+that can hold any historical version side by side with the live one is
+what lets a service *measure* that harm per-hostname instead of
+shipping one frozen file.
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.history.store import VersionStore
+from repro.history.version import PslVersion
+from repro.psl.list import PublicSuffixList, SuffixMatch
+
+
+@dataclass(frozen=True, slots=True)
+class PslSnapshot:
+    """One materialized, immutable PSL version ready to answer queries."""
+
+    version: PslVersion = field(repr=False)
+    psl: PublicSuffixList = field(repr=False)
+    #: Wall-clock time the snapshot was materialized (for uptime-style
+    #: introspection; *staleness* is measured from the version date).
+    built_at: float
+
+    @property
+    def index(self) -> int:
+        """Position of this version in the history."""
+        return self.version.index
+
+    @property
+    def date(self) -> datetime.date:
+        """The version's commit date — what 'list age' is measured from."""
+        return self.version.date
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the rule set (the cache-key component)."""
+        return self.psl.fingerprint
+
+    @property
+    def rule_count(self) -> int:
+        """Number of explicit rules in this version."""
+        return self.version.rule_count
+
+    def age_days(self, reference: datetime.date | None = None) -> int:
+        """List age in days — the paper's staleness measure (Figure 3)."""
+        today = reference if reference is not None else datetime.date.today()
+        return self.version.age_at(today)
+
+    def match(self, hostname: str) -> SuffixMatch:
+        """Full PSL lookup under this snapshot."""
+        return self.psl.match(hostname)
+
+    def describe(self) -> dict:
+        """JSON-shaped metadata (the ``/versions`` wire format)."""
+        return {
+            "index": self.index,
+            "date": self.date.isoformat(),
+            "commit": self.version.commit[:12],
+            "rule_count": self.rule_count,
+            "fingerprint": self.fingerprint[:12],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PslSnapshot(v{self.index} {self.date} {self.rule_count} rules)"
+
+
+class UnknownVersionError(LookupError):
+    """Raised when a version spec resolves to nothing in the history."""
+
+    def __init__(self, spec: object, reason: str) -> None:
+        self.spec = spec
+        self.reason = reason
+        super().__init__(f"unknown version {spec!r}: {reason}")
+
+
+class SnapshotRegistry:
+    """Versioned snapshots with atomic hot-swap and bounded residency.
+
+    Thread-safety contract:
+
+    * ``active`` is a bare attribute read — readers take no lock, ever.
+      Publication is a single reference assignment performed only after
+      the replacement snapshot is fully built, so readers see either
+      the old complete snapshot or the new complete snapshot, never an
+      intermediate state.
+    * All mutation (``activate``, ``resident`` cache fills) serializes
+      on one internal lock, which also guards the underlying
+      :class:`VersionStore` — its checkout cache is not thread-safe.
+
+    ``resident_capacity`` bounds how many *additional* versions stay
+    materialized for compare probes; the active snapshot is never
+    evicted.  Old active snapshots stay valid for in-flight requests
+    that already hold a reference and are reclaimed by the garbage
+    collector once the last request finishes.
+    """
+
+    def __init__(
+        self,
+        store: VersionStore,
+        *,
+        active: int = -1,
+        resident_capacity: int = 4,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if resident_capacity < 1:
+            raise ValueError("resident_capacity must be positive")
+        if len(store) == 0:
+            raise ValueError("cannot serve an empty version store")
+        self._store = store
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._resident: OrderedDict[int, PslSnapshot] = OrderedDict()
+        self._resident_capacity = resident_capacity
+        self._generation = 0
+        with self._lock:
+            self._active = self._materialize_locked(self.resolve(active))
+
+    # -- reading (lock-free for the hot path) --------------------------------
+
+    @property
+    def active(self) -> PslSnapshot:
+        """The live snapshot.  Lock-free; pin it once per request."""
+        return self._active
+
+    @property
+    def generation(self) -> int:
+        """Number of completed hot-swaps since construction."""
+        return self._generation
+
+    @property
+    def store(self) -> VersionStore:
+        """The backing history."""
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def resident_indexes(self) -> tuple[int, ...]:
+        """Indexes currently materialized (active first)."""
+        with self._lock:
+            others = tuple(i for i in self._resident if i != self._active.index)
+        return (self._active.index,) + others
+
+    # -- version resolution --------------------------------------------------
+
+    def resolve(self, spec: object) -> int:
+        """Resolve a version spec to a canonical non-negative index.
+
+        Accepts an integer index (negative counts from the end), the
+        string ``"latest"``, a decimal string, or an ISO date string —
+        dates resolve to the newest version on or before that day,
+        exactly how a list vendored on that day maps to a version.
+        """
+        count = len(self._store)
+        if isinstance(spec, bool):  # bool is an int subclass; reject it
+            raise UnknownVersionError(spec, "not an index")
+        if isinstance(spec, int):
+            index = spec + count if spec < 0 else spec
+            if not 0 <= index < count:
+                raise UnknownVersionError(spec, f"index out of range [0, {count})")
+            return index
+        if isinstance(spec, datetime.date):
+            version = self._store.version_at_date(spec)
+            if version is None:
+                raise UnknownVersionError(spec, "predates the history")
+            return version.index
+        if isinstance(spec, str):
+            text = spec.strip().lower()
+            if text == "latest":
+                return count - 1
+            if text.lstrip("-").isdigit():
+                return self.resolve(int(text))
+            try:
+                day = datetime.date.fromisoformat(text)
+            except ValueError:
+                raise UnknownVersionError(spec, "not an index, date, or 'latest'") from None
+            return self.resolve(day)
+        raise UnknownVersionError(spec, "unsupported spec type")
+
+    # -- materialization -----------------------------------------------------
+
+    def _materialize_locked(self, index: int) -> PslSnapshot:
+        """Build (or fetch resident) snapshot; caller holds the lock."""
+        cached = self._resident.get(index)
+        if cached is not None:
+            self._resident.move_to_end(index)
+            return cached
+        snapshot = PslSnapshot(
+            version=self._store.version(index),
+            psl=self._store.checkout(index),
+            built_at=self._clock(),
+        )
+        self._resident[index] = snapshot
+        self._evict_locked()
+        return snapshot
+
+    def _evict_locked(self) -> None:
+        active_index = self._active.index if hasattr(self, "_active") else None
+        while len(self._resident) > self._resident_capacity:
+            for index in self._resident:
+                if index != active_index:
+                    del self._resident[index]
+                    break
+            else:  # only the active snapshot remains; nothing evictable
+                break
+
+    def resident(self, spec: object) -> PslSnapshot:
+        """A materialized snapshot of ``spec``, kept resident (LRU).
+
+        This is the side-by-side path: compare probes hold two resident
+        snapshots at once without disturbing the active one.
+        """
+        index = self.resolve(spec)
+        active = self._active
+        if active.index == index:
+            return active
+        with self._lock:
+            return self._materialize_locked(index)
+
+    def activate(self, spec: object) -> PslSnapshot:
+        """Hot-swap the active snapshot to ``spec``, atomically.
+
+        The replacement is fully built under the lock *before* the
+        single-assignment publish; concurrent readers keep answering
+        from the outgoing snapshot until the reference flips.
+        """
+        index = self.resolve(spec)
+        with self._lock:
+            snapshot = self._materialize_locked(index)
+            previous = self._active
+            self._active = snapshot
+            if snapshot is not previous:
+                self._generation += 1
+            self._evict_locked()
+            return snapshot
+
+    def describe(self, *, limit: int | None = None) -> dict:
+        """Registry state in the ``/versions`` wire shape."""
+        versions = self._store.versions
+        if limit is not None and limit >= 0:
+            versions = versions[-limit:] if limit else ()
+        return {
+            "count": len(self._store),
+            "active": self.active.describe(),
+            "generation": self.generation,
+            "resident": list(self.resident_indexes()),
+            "versions": [
+                {
+                    "index": version.index,
+                    "date": version.date.isoformat(),
+                    "commit": version.commit[:12],
+                    "rule_count": version.rule_count,
+                }
+                for version in versions
+            ],
+        }

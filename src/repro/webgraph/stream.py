@@ -16,9 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.net.hostname import normalize_or_none
 from repro.psl.caching import LruDict
-from repro.psl.errors import PslError
-from repro.psl.idna import to_ascii
 from repro.psl.list import PublicSuffixList
 from repro.psl.trie import SuffixTrie
 from repro.webgraph.sites import site_for_reversed
@@ -63,21 +62,15 @@ def _reversed_labels_or_none(host: object) -> list[str] | None:
 
     Streams come from real crawl exports, which contain rows no browser
     would emit: empty strings, names with empty labels or embedded
-    whitespace, and non-ASCII names that IDNA cannot encode.  Those are
-    the caller's ``skipped`` bucket; everything else passes through
-    verbatim so results stay identical to the in-memory path.
+    whitespace, and non-ASCII names that IDNA cannot encode.  Admission
+    is :func:`repro.net.hostname.normalize_or_none` — the same gate the
+    serving layer applies to query-string hostnames — so what counts as
+    a ``skipped`` row here and a ``400`` there is one policy, not two.
     """
-    if not isinstance(host, str) or not host:
+    name = normalize_or_none(host)
+    if name is None:
         return None
-    if not host.isascii():
-        try:
-            to_ascii(host)  # validate IDNA-encodability only
-        except (PslError, UnicodeError):
-            return None
-    labels = host.split(".")
-    for label in labels:
-        if not label or any(ch.isspace() for ch in label):
-            return None
+    labels = name.split(".")
     labels.reverse()
     return labels
 

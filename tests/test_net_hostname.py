@@ -8,9 +8,44 @@ from repro.net.hostname import (
     is_ip_literal,
     join_labels,
     normalize_hostname,
+    normalize_or_none,
+    normalize_or_reject,
     split_labels,
     validate_label,
 )
+
+
+class TestNormalizeOrReject:
+    """The shared ingest gate used by repro.serve and webgraph.stream."""
+
+    def test_case_and_trailing_dot(self):
+        assert normalize_or_reject("WWW.Example.COM.") == "www.example.com"
+
+    def test_unicode_name_passes_and_stays_ulabel(self):
+        assert normalize_or_reject("点看.Example") == "点看.example"
+
+    def test_non_idna_encodable_rejected(self):
+        # A label that punycode-encodes past the 63-octet A-label limit.
+        monster = "点" * 60 + ".example"
+        with pytest.raises(HostnameError) as excinfo:
+            normalize_or_reject(monster)
+        assert "IDNA" in excinfo.value.reason
+
+    def test_non_string_rejected(self):
+        with pytest.raises(HostnameError):
+            normalize_or_reject(12345)
+        with pytest.raises(HostnameError):
+            normalize_or_reject(None)
+
+    def test_structural_garbage_rejected(self):
+        for bad in ("", "a..b.com", "white space.com", "192.168.0.1"):
+            with pytest.raises(HostnameError):
+                normalize_or_reject(bad)
+
+    def test_none_variant_mirrors_reject(self):
+        assert normalize_or_none("A.B.Com") == "a.b.com"
+        assert normalize_or_none("bad..name") is None
+        assert normalize_or_none(42) is None
 
 
 class TestNormalize:

@@ -1,0 +1,332 @@
+"""Tests for repro.serve: snapshots, registry hot-swap, query engine.
+
+The concurrency tests here are the satellite task's core requirement:
+reader threads issuing lookups while a background thread hot-swaps PSL
+versions must never observe a half-built trie, a wrong-version answer,
+or a dropped request.
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+
+import pytest
+
+from repro.history.store import VersionStore
+from repro.net.errors import HostnameError
+from repro.psl.rules import Rule
+from repro.serve.engine import BatchItemError, QueryEngine, SiteAnswer
+from repro.serve.snapshots import PslSnapshot, SnapshotRegistry, UnknownVersionError
+
+V0_DATE = datetime.date(2020, 1, 1)
+V1_DATE = datetime.date(2021, 1, 1)
+V2_DATE = datetime.date(2022, 1, 1)
+
+
+def make_store() -> VersionStore:
+    """A three-version history whose versions answer differently.
+
+    * v0: bare TLDs only — ``www.example.co.uk`` groups as ``co.uk``;
+    * v1: adds ``co.uk`` and ``github.io`` — the same hostname now
+      groups as ``example.co.uk`` (the paper's stale-copy divergence);
+    * v2: adds the Kawasaki wildcard/exception pair.
+    """
+    store = VersionStore()
+    store.commit_rules(
+        V0_DATE, added=[Rule.parse(t) for t in ("com", "net", "org", "uk", "io", "jp")]
+    )
+    store.commit_rules(V1_DATE, added=[Rule.parse("co.uk"), Rule.parse("github.io")])
+    store.commit_rules(
+        V2_DATE, added=[Rule.parse("*.kawasaki.jp"), Rule.parse("!city.kawasaki.jp")]
+    )
+    return store
+
+
+@pytest.fixture()
+def store() -> VersionStore:
+    return make_store()
+
+
+@pytest.fixture()
+def registry(store) -> SnapshotRegistry:
+    return SnapshotRegistry(store)
+
+
+@pytest.fixture()
+def engine(registry) -> QueryEngine:
+    return QueryEngine(registry, cache_capacity=1024, shards=4)
+
+
+class TestPslSnapshot:
+    def test_snapshot_is_latest_by_default(self, registry):
+        active = registry.active
+        assert isinstance(active, PslSnapshot)
+        assert active.index == 2
+        assert active.date == V2_DATE
+        assert active.rule_count == 10
+
+    def test_age_days_measures_staleness(self, registry):
+        snap = registry.resident(0)
+        assert snap.age_days(datetime.date(2020, 1, 31)) == 30
+
+    def test_describe_shape(self, registry):
+        described = registry.active.describe()
+        assert set(described) == {"index", "date", "commit", "rule_count", "fingerprint"}
+        assert described["date"] == V2_DATE.isoformat()
+
+
+class TestResolve:
+    def test_int_and_negative(self, registry):
+        assert registry.resolve(0) == 0
+        assert registry.resolve(-1) == 2
+
+    def test_latest_and_digit_strings(self, registry):
+        assert registry.resolve("latest") == 2
+        assert registry.resolve("1") == 1
+        assert registry.resolve("-1") == 2
+
+    def test_date_resolution_maps_to_newest_at_or_before(self, registry):
+        assert registry.resolve("2021-06-15") == 1
+        assert registry.resolve(datetime.date(2022, 1, 1)) == 2
+
+    def test_rejections(self, registry):
+        for bad in (99, -99, "2019-01-01", "not-a-spec", True, 3.5):
+            with pytest.raises(UnknownVersionError):
+                registry.resolve(bad)
+
+
+class TestRegistry:
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotRegistry(VersionStore())
+
+    def test_activate_swaps_atomically_and_counts(self, registry):
+        before = registry.active
+        swapped = registry.activate(0)
+        assert registry.active is swapped
+        assert swapped.index == 0
+        assert registry.generation == 1
+        # The outgoing snapshot object is still fully usable (COW).
+        assert before.match("www.example.co.uk").site == "example.co.uk"
+
+    def test_activate_same_version_is_a_noop_swap(self, registry):
+        registry.activate("latest")
+        assert registry.generation == 0
+
+    def test_resident_keeps_versions_side_by_side(self, registry):
+        old = registry.resident(0)
+        new = registry.resident("latest")
+        assert old.index == 0 and new.index == 2
+        assert registry.resident_indexes()[0] == 2  # active first
+        assert set(registry.resident_indexes()) == {0, 2}
+
+    def test_resident_lru_never_evicts_active(self, store):
+        registry = SnapshotRegistry(store, resident_capacity=1)
+        registry.resident(0)
+        registry.resident(1)  # evicts 0, never the active 2
+        indexes = registry.resident_indexes()
+        assert indexes[0] == 2
+        assert len(indexes) <= 2
+
+    def test_describe_limit(self, registry):
+        full = registry.describe()
+        limited = registry.describe(limit=1)
+        assert len(full["versions"]) == 3
+        assert len(limited["versions"]) == 1
+        assert limited["versions"][0]["index"] == 2
+
+
+class TestQueryEngine:
+    def test_site_answers_with_version_metadata(self, engine):
+        answer = engine.site("WWW.Example.CO.UK.")
+        assert answer.hostname == "www.example.co.uk"
+        assert answer.site == "example.co.uk"
+        assert answer.public_suffix == "co.uk"
+        assert answer.version_index == 2
+        assert answer.cached is False
+        assert engine.site("www.example.co.uk").cached is True
+
+    def test_site_under_pinned_version(self, engine):
+        answer = engine.site("www.example.co.uk", version=0)
+        assert answer.site == "co.uk"
+        assert answer.version_index == 0
+
+    def test_public_suffix_hostnames_flagged(self, engine):
+        answer = engine.site("co.uk")
+        assert answer.is_public_suffix is True
+        assert answer.registrable_domain is None
+        assert answer.site == "co.uk"
+
+    def test_malformed_hostname_raises_structured_error(self, engine):
+        with pytest.raises(HostnameError) as excinfo:
+            engine.site("bad..name")
+        assert excinfo.value.reason
+
+    def test_batch_pins_one_snapshot_and_isolates_errors(self, engine):
+        result = engine.batch(["a.example.com", "bad..name", "b.github.io"])
+        assert result.version_index == 2
+        assert result.ok_count == 2
+        assert result.error_count == 1
+        kinds = [type(answer) for answer in result.answers]
+        assert kinds == [SiteAnswer, BatchItemError, SiteAnswer]
+        assert result.to_json()["errors"] == 1
+
+    def test_classify_third_party(self, engine):
+        verdict = engine.classify("shop.example.com", "cdn.example.com")
+        assert verdict.third_party is False
+        verdict = engine.classify("shop.example.com", "t.tracker.net")
+        assert verdict.third_party is True
+
+    def test_classify_version_sensitivity(self, engine):
+        # Under v0 there is no github.io rule: two tenants share a site.
+        stale = engine.classify("alice.github.io", "bob.github.io", version=0)
+        fresh = engine.classify("alice.github.io", "bob.github.io")
+        assert stale.third_party is False
+        assert fresh.third_party is True
+
+    def test_compare_is_the_misclassification_probe(self, engine):
+        probe = engine.compare("www.example.co.uk", 0)
+        assert probe.old.site == "co.uk"
+        assert probe.new.site == "example.co.uk"
+        assert probe.diverges is True
+        same = engine.compare("www.example.com", 0)
+        assert same.diverges is False
+
+    def test_compare_explicit_new_version(self, engine):
+        probe = engine.compare("www.example.co.uk", 1, 2)
+        assert probe.diverges is False
+
+    def test_cache_is_keyed_by_snapshot_not_poisoned_by_swap(self, engine):
+        registry = engine.registry
+        assert engine.site("www.example.co.uk").site == "example.co.uk"
+        registry.activate(0)
+        assert engine.site("www.example.co.uk").site == "co.uk"
+        registry.activate("latest")
+        answer = engine.site("www.example.co.uk")
+        assert answer.site == "example.co.uk"
+        assert answer.cached is True  # the old entries were still valid
+
+    def test_stats_aggregate(self, engine):
+        engine.site("a.example.com")
+        engine.site("a.example.com")
+        stats = engine.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert 0 < stats.hit_rate < 1
+        assert stats.shards == 4
+        engine.clear_cache()
+        assert engine.stats().hits == 0
+
+
+class TestConcurrentHotSwap:
+    """Readers under live swaps: never a half answer, never a drop."""
+
+    READERS = 6
+    LOOKUPS_PER_READER = 400
+    SWAPS = 120
+
+    def test_lookups_remain_version_consistent_under_swaps(self, store):
+        registry = SnapshotRegistry(store)
+        engine = QueryEngine(registry, cache_capacity=4096, shards=4)
+        host = "www.example.co.uk"
+        # The only legal (version, site) pairings, precomputed serially.
+        legal = {
+            index: registry.resident(index).match(host).site
+            for index in range(len(store))
+        }
+        errors: list[BaseException] = []
+        answered = [0] * self.READERS
+        stop = threading.Event()
+        barrier = threading.Barrier(self.READERS + 1)
+
+        def reader(slot: int) -> None:
+            try:
+                barrier.wait()
+                while not stop.is_set() or answered[slot] < self.LOOKUPS_PER_READER:
+                    answer = engine.site(host)
+                    # Version consistency: whatever snapshot answered,
+                    # the site must be that exact version's site.
+                    assert answer.site == legal[answer.version_index]
+                    answered[slot] += 1
+                    if answered[slot] >= self.LOOKUPS_PER_READER and stop.is_set():
+                        break
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def swapper() -> None:
+            try:
+                barrier.wait()
+                for swap in range(self.SWAPS):
+                    registry.activate(swap % len(store))
+                stop.set()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                stop.set()
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,)) for slot in range(self.READERS)
+        ]
+        threads.append(threading.Thread(target=swapper))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, f"raised under swap load: {errors[:3]}"
+        # No dropped requests: every reader finished its quota.
+        assert all(count >= self.LOOKUPS_PER_READER for count in answered)
+        assert registry.generation > 0
+
+    def test_batches_are_single_version_under_swaps(self, store):
+        registry = SnapshotRegistry(store)
+        engine = QueryEngine(registry)
+        hosts = [f"h{i}.example.co.uk" for i in range(50)]
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def swapper() -> None:
+            for swap in range(60):
+                registry.activate(swap % len(store))
+            stop.set()
+
+        def batcher() -> None:
+            try:
+                while not stop.is_set():
+                    result = engine.batch(hosts)
+                    versions = {
+                        answer.version_index
+                        for answer in result.answers
+                        if isinstance(answer, SiteAnswer)
+                    }
+                    # Snapshot pinning: one batch, one version, always.
+                    assert versions == {result.version_index}
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=batcher) for _ in range(3)]
+        threads.append(threading.Thread(target=swapper))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, f"raised under swap load: {errors[:3]}"
+
+    def test_concurrent_resident_fills_are_safe(self, store):
+        """Many threads demanding different versions at once (store
+        checkout is not thread-safe; the registry must serialize it)."""
+        registry = SnapshotRegistry(store, resident_capacity=2)
+        errors: list[BaseException] = []
+
+        def prober(index: int) -> None:
+            try:
+                for _ in range(200):
+                    snapshot = registry.resident(index % len(store))
+                    assert snapshot.index == index % len(store)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=prober, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, f"raised during resident fills: {errors[:3]}"
