@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve serve-smoke
+.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve bench-packed serve-smoke
 
 test:  ## tier-1: the full fast suite
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,9 @@ bench-pipeline:  ## the artifact-pipeline gates (warm >= 5x cold, cold overhead 
 
 bench-serve:  ## the serving-layer gates (cached >= 50x rebuild, batch >= 5x singles)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_serve.py -m bench -q -s
+
+bench-packed:  ## the packed-snapshot gates (uncached match <= 5.87 µs, resident cut >= 5x)
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_packed.py -m bench -q -s
 
 serve-smoke:  ## start psl-serve on an ephemeral port, hit every endpoint, assert JSON shapes
 	$(PYTHON) -m repro.serve.cli --smoke

@@ -31,6 +31,7 @@ from repro.analysis.boundaries import SweepResult, run_sweep
 from repro.history.store import VersionStore
 from repro.history.synthesis import SynthesisConfig, synthesize_history
 from repro.pipeline import Pipeline, Stage, StageContext, memory_store
+from repro.psl.packed import pack_history
 from repro.repos.classifier import Classification, classify
 from repro.repos.corpus import CorpusConfig, build_corpus
 from repro.repos.dating import DatingResult, ListDater
@@ -41,7 +42,15 @@ from repro.webgraph.synthesis import SnapshotConfig, synthesize_snapshot
 DEFAULT_SEED = 20230701
 
 #: The stage roles every world pipeline provides.
-WORLD_STAGES = ("history", "corpus", "snapshot", "classifications", "datings", "sweep")
+WORLD_STAGES = (
+    "history",
+    "corpus",
+    "snapshot",
+    "classifications",
+    "datings",
+    "sweep",
+    "packed",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -132,6 +141,9 @@ def world_stages(
         report = result.failure_report
         return report is None or not report.degraded
 
+    def build_packed(inputs: Mapping[str, Any], ctx: StageContext) -> bytes:
+        return pack_history(inputs["history"])
+
     return (
         Stage(
             name="history",
@@ -173,6 +185,15 @@ def world_stages(
             # A degraded sweep (quarantined chunks) must never seed a
             # later run from disk; it stays memory-only.
             persist=sweep_is_clean,
+        ),
+        Stage(
+            name="packed",
+            build=build_packed,
+            upstream=("history",),
+            # Raw bytes on disk: the serving layer mmaps the artifact
+            # file itself (ArtifactStore.payload_path) so N server
+            # processes share one physical copy of the whole history.
+            raw=True,
         ),
     )
 

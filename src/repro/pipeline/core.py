@@ -74,6 +74,9 @@ class Stage:
     recomputed (side-effectful terminals like the release export).
     ``persist`` optionally gates the *disk* layer per value — e.g. a
     degraded sweep stays memory-only so no later run resumes from it.
+    ``raw=True`` declares the stage's value is ``bytes`` to be stored
+    verbatim (no pickle envelope) so consumers can ``mmap`` the
+    artifact file directly — the packed-snapshot kind.
     """
 
     name: str
@@ -83,6 +86,7 @@ class Stage:
     params: Mapping[str, Any] = field(default_factory=dict)
     cache: bool = True
     persist: Optional[Callable[[Any], bool]] = None
+    raw: bool = False
 
     def renamed(self, name: str, upstream_map: Mapping[str, str]) -> "Stage":
         """A copy under a new name with upstream references remapped
@@ -287,7 +291,9 @@ class Pipeline:
             persist = self._store.persistent and (
                 stage.persist is None or stage.persist(value)
             )
-            artifact = self._store.put(name, stage_fingerprint, value, persist=persist)
+            artifact = self._store.put(
+                name, stage_fingerprint, value, persist=persist, raw=stage.raw
+            )
             nbytes = artifact.nbytes
         self.report.record(
             StageExecution(

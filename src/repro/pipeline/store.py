@@ -74,12 +74,12 @@ class ArtifactStore:
 
     # -- addressing -----------------------------------------------------------
 
-    def _paths(self, stage: str, fingerprint: str) -> tuple[str, str]:
+    def _paths(self, stage: str, fingerprint: str, *, raw: bool = False) -> tuple[str, str]:
         assert self._directory is not None
         safe = _SAFE_NAME.sub("_", stage) or "stage"
         stage_dir = os.path.join(self._directory, safe)
         base = os.path.join(stage_dir, fingerprint)
-        return f"{base}.pkl", f"{base}.json"
+        return f"{base}.bin" if raw else f"{base}.pkl", f"{base}.json"
 
     # -- reads ----------------------------------------------------------------
 
@@ -96,16 +96,18 @@ class ArtifactStore:
             return entry[0], entry[1], "memory"
         if self._directory is None:
             return None
-        payload_path, meta_path = self._paths(stage, fingerprint)
+        _, meta_path = self._paths(stage, fingerprint)
         try:
             with open(meta_path, encoding="utf-8") as handle:
                 meta = json.load(handle)
+            raw = meta.get("format", "pickle") == "raw"
+            payload_path, _ = self._paths(stage, fingerprint, raw=raw)
             with open(payload_path, "rb") as handle:
                 payload = handle.read()
             digest = hashlib.sha256(payload).hexdigest()
             if digest != meta.get("digest"):
                 return None
-            value = pickle.loads(payload)
+            value = payload if raw else pickle.loads(payload)
         except (OSError, ValueError, KeyError, EOFError,
                 pickle.UnpicklingError, AttributeError, ImportError):
             return None
@@ -124,21 +126,62 @@ class ArtifactStore:
         entry = self._memory.get((stage, fingerprint))
         return entry[0] if entry is not None else None
 
+    def payload_path(self, stage: str, fingerprint: str) -> str | None:
+        """The verified on-disk payload path, or ``None``.
+
+        The zero-copy entry point: ``mmap`` consumers (packed snapshot
+        histories) want the artifact *file*, not its bytes in the heap.
+        The payload digest is checked against the meta sidecar first —
+        a corrupt artifact returns ``None``, same as :meth:`get`.
+        """
+        if self._directory is None:
+            return None
+        _, meta_path = self._paths(stage, fingerprint)
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            raw = meta.get("format", "pickle") == "raw"
+            payload_path, _ = self._paths(stage, fingerprint, raw=raw)
+            with open(payload_path, "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+            if digest != meta.get("digest"):
+                return None
+        except (OSError, ValueError, KeyError):
+            return None
+        return payload_path
+
     # -- writes ---------------------------------------------------------------
 
     def put(
-        self, stage: str, fingerprint: str, value: Any, *, persist: bool = True
+        self,
+        stage: str,
+        fingerprint: str,
+        value: Any,
+        *,
+        persist: bool = True,
+        raw: bool = False,
     ) -> Artifact:
         """Store one stage output; returns its :class:`Artifact`.
 
         ``persist=False`` keeps the value memory-only even when the
         store has a disk layer (used e.g. for degraded sweeps, which
         must never be resumed from).
+
+        ``raw=True`` stores ``value`` (which must be ``bytes``) as-is —
+        no pickle envelope — under a ``.bin`` payload whose meta
+        sidecar records ``"format": "raw"``.  Raw artifacts are the
+        mmap-able kind: :meth:`payload_path` hands back the verified
+        file for zero-copy loading.
         """
+        if raw and not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"raw artifacts must be bytes, got {type(value).__name__}")
         if self._directory is not None and persist:
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            if raw:
+                payload = bytes(value)
+            else:
+                payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             digest = hashlib.sha256(payload).hexdigest()
-            payload_path, meta_path = self._paths(stage, fingerprint)
+            payload_path, meta_path = self._paths(stage, fingerprint, raw=raw)
             os.makedirs(os.path.dirname(payload_path), exist_ok=True)
             # Payload first, meta last: a kill in between leaves a
             # payload without meta, which get() treats as absent.
@@ -148,6 +191,7 @@ class ArtifactStore:
                 "fingerprint": fingerprint,
                 "digest": digest,
                 "bytes": len(payload),
+                "format": "raw" if raw else "pickle",
             }
             atomic_write_bytes(
                 meta_path, json.dumps(meta, sort_keys=True, indent=1).encode("utf-8")

@@ -10,6 +10,8 @@ Implements the full publicsuffix.org algorithm over ``.dat`` files:
   trie and the prevailing-rule lookup;
 * :mod:`repro.psl.list` — the :class:`~repro.psl.list.PublicSuffixList`
   facade (public suffix, registrable domain, site equality);
+* :mod:`repro.psl.packed` — the flat, immutable, mmap-shareable trie
+  encoding behind zero-copy snapshot serving;
 * :mod:`repro.psl.diff` — deltas between list versions, the unit of the
   incremental analyses in :mod:`repro.analysis`;
 * :mod:`repro.psl.punycode` / :mod:`repro.psl.idna` — RFC 3492 and the
@@ -20,6 +22,13 @@ from repro.psl.diff import RuleDelta, diff_rules
 from repro.psl.errors import PslError, PslParseError, PunycodeError
 from repro.psl.linter import LintFinding, LintReport, lint_psl
 from repro.psl.list import PublicSuffixList, SuffixMatch
+from repro.psl.packed import (
+    PackedFormatError,
+    PackedHistory,
+    PackedTrie,
+    pack_history,
+    pack_rules,
+)
 from repro.psl.parser import parse_psl
 from repro.psl.rules import Rule, RuleKind, Section
 from repro.psl.serialize import serialize_psl
@@ -27,6 +36,9 @@ from repro.psl.serialize import serialize_psl
 __all__ = [
     "LintFinding",
     "LintReport",
+    "PackedFormatError",
+    "PackedHistory",
+    "PackedTrie",
     "PslError",
     "PslParseError",
     "PublicSuffixList",
@@ -38,6 +50,8 @@ __all__ = [
     "SuffixMatch",
     "diff_rules",
     "lint_psl",
+    "pack_history",
+    "pack_rules",
     "parse_psl",
     "serialize_psl",
 ]

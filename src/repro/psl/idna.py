@@ -57,6 +57,11 @@ def to_ascii(name: str) -> str:
     >>> to_ascii('点看.example')
     'xn--3pxu8k.example'
     """
+    # Fast path: ASCII is NFC-invariant and lowercasing is the whole
+    # mapping, and a name no longer than one label's limit cannot hide
+    # an over-long label — so the per-label walk is pure overhead.
+    if len(name) <= MAX_LABEL_LENGTH and name.isascii():
+        return name.lower()
     return ".".join(
         label if label == "*" else label_to_ascii(label) for label in name.split(".")
     )

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.psl.idna import to_ascii
 from repro.psl.rules import Rule, RuleKind, Section
 from repro.psl.trie import SuffixTrie
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (packed -> trie)
+    from repro.psl.packed import PackedTrie
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,9 +101,11 @@ class PublicSuffixList:
 
     def __init__(self, rules: Iterable[Rule] = ()) -> None:
         unique = sorted(set(rules), key=lambda r: (r.labels, r.kind.value))
-        self._rules: tuple[Rule, ...] = tuple(unique)
+        self._rules: tuple[Rule, ...] | None = tuple(unique)
         self._trie = SuffixTrie(self._rules)
-        self._rules_by_text = {rule.text: rule for rule in self._rules}
+        self._rules_by_text: dict[str, Rule] | None = {
+            rule.text: rule for rule in self._rules
+        }
         digest = hashlib.sha256()
         for rule in self._rules:
             digest.update(rule.text.encode("utf-8"))
@@ -109,13 +114,33 @@ class PublicSuffixList:
             digest.update(b"\n")
         self._fingerprint = digest.hexdigest()
 
+    @classmethod
+    def from_packed(cls, trie: "PackedTrie") -> "PublicSuffixList":
+        """Wrap a :class:`~repro.psl.packed.PackedTrie` with zero copies.
+
+        The lookup surface (``match``, ``any_suffix_below``, …) runs
+        straight off the packed buffer; the rule tuple and text index
+        are materialized lazily, only if a caller actually iterates
+        rules.  The fingerprint is the one stamped at pack time, which
+        equals ``PublicSuffixList(same_rules).fingerprint`` — so packed
+        snapshots drop into fingerprint-keyed caches unchanged.
+        """
+        psl = object.__new__(cls)
+        psl._trie = trie
+        psl._fingerprint = trie.fingerprint
+        psl._rules = None
+        psl._rules_by_text = None
+        return psl
+
     # -- container protocol -------------------------------------------------
 
     def __len__(self) -> int:
+        if self._rules is None:
+            return len(self._trie)
         return len(self._rules)
 
     def __iter__(self) -> Iterator[Rule]:
-        return iter(self._rules)
+        return iter(self.rules)
 
     def __contains__(self, rule: "Rule | str") -> bool:
         """Membership by :class:`Rule` or by canonical rule text.
@@ -124,9 +149,10 @@ class PublicSuffixList:
         asking "is ``github.io`` on this list?" care about the rule,
         not which division it lives in.
         """
+        by_text = self._text_index()
         if isinstance(rule, Rule):
-            return self._rules_by_text.get(rule.text) == rule
-        return Rule.parse(rule).text in self._rules_by_text
+            return by_text.get(rule.text) == rule
+        return Rule.parse(rule).text in by_text
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PublicSuffixList):
@@ -137,13 +163,23 @@ class PublicSuffixList:
         return hash(self._fingerprint)
 
     def __repr__(self) -> str:
-        return f"PublicSuffixList({len(self._rules)} rules, {self._fingerprint[:12]})"
+        return f"PublicSuffixList({len(self)} rules, {self._fingerprint[:12]})"
 
     # -- introspection ------------------------------------------------------
 
+    def _text_index(self) -> dict[str, Rule]:
+        if self._rules_by_text is None:
+            self._rules_by_text = {rule.text: rule for rule in self.rules}
+        return self._rules_by_text
+
     @property
     def rules(self) -> tuple[Rule, ...]:
-        """All rules, sorted canonically."""
+        """All rules, sorted canonically (materialized lazily when packed)."""
+        if self._rules is None:
+            unique = sorted(
+                set(self._trie.iter_rules()), key=lambda r: (r.labels, r.kind.value)
+            )
+            self._rules = tuple(unique)
         return self._rules
 
     @property
@@ -157,12 +193,12 @@ class PublicSuffixList:
 
     def rules_in_section(self, section: Section) -> tuple[Rule, ...]:
         """Rules belonging to one division of the list."""
-        return tuple(rule for rule in self._rules if rule.section is section)
+        return tuple(rule for rule in self.rules if rule.section is section)
 
     def component_histogram(self) -> dict[int, int]:
         """Map component-count -> number of rules (the Figure 2 breakdown)."""
         histogram: dict[int, int] = {}
-        for rule in self._rules:
+        for rule in self.rules:
             histogram[rule.component_count] = histogram.get(rule.component_count, 0) + 1
         return histogram
 
@@ -270,6 +306,6 @@ class PublicSuffixList:
     def with_rules(self, added: Iterable[Rule] = (), removed: Iterable[Rule] = ()) -> "PublicSuffixList":
         """A new list with ``added`` inserted and ``removed`` dropped."""
         removal = set(removed)
-        rules = [rule for rule in self._rules if rule not in removal]
+        rules = [rule for rule in self.rules if rule not in removal]
         rules.extend(added)
         return PublicSuffixList(rules)

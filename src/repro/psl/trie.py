@@ -54,6 +54,16 @@ class SuffixTrie:
     def __len__(self) -> int:
         return self._size
 
+    def node_count(self) -> int:
+        """Number of trie nodes, root included (structural size)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
     def insert(self, rule: Rule) -> None:
         """Insert a rule; re-inserting an identical rule is a no-op.
 
@@ -81,17 +91,20 @@ class SuffixTrie:
     def remove(self, rule: Rule) -> bool:
         """Remove a rule if present; returns True when something was removed.
 
-        Empty interior nodes are left in place: the delta-driven sweep
-        keeps one trie alive across a whole list history, and the node
-        count is bounded by the union of every rule the history ever
-        carried — small enough that structural compaction is not worth
-        its complexity.
+        Nodes left childless and rule-less by the removal are pruned on
+        the unwind: the delta-driven sweep keeps one trie alive across
+        a whole list history (1,142 versions of add/remove churn), so
+        without pruning the node count would grow toward the union of
+        every rule the history ever carried instead of tracking the
+        live rule set.
         """
         node = self._root
+        path: list[tuple[TrieNode, str]] = []
         for label in rule.labels:
             child = node.children.get(label)
             if child is None:
                 return False
+            path.append((node, label))
             node = child
         if rule.kind is RuleKind.EXCEPTION:
             if node.exception_rule != rule:
@@ -102,6 +115,12 @@ class SuffixTrie:
                 return False
             node.rule = None
         self._size -= 1
+        # Prune the unwind: drop nodes that no longer anchor anything.
+        for parent, label in reversed(path):
+            if node.children or node.rule is not None or node.exception_rule is not None:
+                break
+            del parent.children[label]
+            node = parent
         return True
 
     def apply_delta(self, delta: "RuleDelta") -> None:

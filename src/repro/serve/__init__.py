@@ -38,8 +38,14 @@ from repro.serve.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MultiCallbackGauge,
 )
-from repro.serve.snapshots import PslSnapshot, SnapshotRegistry, UnknownVersionError
+from repro.serve.snapshots import (
+    MemoryAccounting,
+    PslSnapshot,
+    SnapshotRegistry,
+    UnknownVersionError,
+)
 
 __all__ = [
     "BatchAnswer",
@@ -51,7 +57,9 @@ __all__ = [
     "EngineStats",
     "Gauge",
     "Histogram",
+    "MemoryAccounting",
     "MetricsRegistry",
+    "MultiCallbackGauge",
     "PslServer",
     "PslSnapshot",
     "QueryEngine",

@@ -45,24 +45,59 @@ def build_store(seed: int, cache_dir: str | None) -> VersionStore:
     ``psl-repro`` share one artifact rather than each keeping a private
     copy of the world.
     """
+    store, _ = build_world(seed, cache_dir, packed=False)
+    return store
+
+
+def build_world(seed: int, cache_dir: str | None, *, packed: bool):
+    """The history plus (optionally) its packed buffer.
+
+    With ``packed=True`` and a ``cache_dir``, the packed buffer comes
+    from the pipeline's ``packed`` stage as a **raw artifact** and is
+    ``mmap``-ed straight off the store's payload file — the
+    multi-process warm path: every server process mapping the same
+    artifact file shares one physical copy of the full history.
+    Without a cache directory the buffer is packed in-process (still
+    flat and immutable, just not OS-shared).
+    """
     if cache_dir is None:
-        return synthesize_history(SynthesisConfig(seed=seed))
+        store = synthesize_history(SynthesisConfig(seed=seed))
+        if not packed:
+            return store, None
+        from repro.psl.packed import PackedHistory, pack_history
+
+        return store, PackedHistory.from_buffer(pack_history(store))
+
     from repro.analysis.context import SweepSettings, world_stages
     from repro.pipeline import ArtifactStore, Pipeline
     from repro.webgraph.synthesis import SnapshotConfig
 
+    artifacts = ArtifactStore(cache_dir)
     pipeline = Pipeline(
         world_stages(seed, SnapshotConfig(seed=seed), SweepSettings()),
-        store=ArtifactStore(cache_dir),
+        store=artifacts,
     )
-    return pipeline.build("history")
+    store = pipeline.build("history")
+    if not packed:
+        return store, None
+    from repro.psl.packed import PackedHistory, pack_history
+
+    pipeline.build("packed")  # ensure the raw artifact exists on disk
+    path = artifacts.payload_path("packed", pipeline.fingerprint_of("packed"))
+    if path is not None:
+        return store, PackedHistory.load(path)  # mmap: OS-shared pages
+    # No verified payload file (e.g. a memory-only store): pack inline.
+    return store, PackedHistory.from_buffer(pack_history(store))
 
 
 def build_server(args: argparse.Namespace) -> PslServer:
     """Assemble store -> registry -> engine -> server from parsed flags."""
-    store = build_store(args.seed, args.cache_dir)
+    store, packed = build_world(args.seed, args.cache_dir, packed=args.packed)
     registry = SnapshotRegistry(
-        store, active=args.version, resident_capacity=args.resident
+        store,
+        active=args.version,
+        resident_capacity=args.resident,
+        packed=packed,
     )
     engine = QueryEngine(
         registry, cache_capacity=args.cache_capacity, shards=args.shards
@@ -243,6 +278,10 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default=None,
         help="warm the history from this repro.pipeline artifact store",
     )
+    parser.add_argument(
+        "--packed", action="store_true",
+        help="serve off the packed zero-copy trie (mmap-shared with --cache-dir)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log each request")
     parser.add_argument(
         "--smoke", action="store_true",
@@ -257,10 +296,17 @@ def main(argv: list[str] | None = None) -> int:
     started = time.perf_counter()
     server = build_server(args)
     active = server.registry.active
+    packed_history = server.registry.packed_history
+    if packed_history is None:
+        mode = "dict tries"
+    elif packed_history.mmap_shared:
+        mode = f"packed mmap, {packed_history.nbytes / 1e6:.1f} MB shared"
+    else:
+        mode = f"packed in-heap, {packed_history.nbytes / 1e6:.1f} MB"
     print(
         f"psl-serve: {len(server.registry)} versions loaded in "
         f"{time.perf_counter() - started:.1f}s; active v{active.index} "
-        f"({active.date}, {active.rule_count} rules)"
+        f"({active.date}, {active.rule_count} rules; {mode})"
     )
     print(f"listening on {server.url}  (Ctrl-C to stop)")
     serve_forever(server)

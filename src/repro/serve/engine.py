@@ -179,10 +179,16 @@ class QueryEngine:
         if shards < 1:
             raise ValueError("shards must be positive")
         self._registry = registry
-        per_shard = max(1, cache_capacity // shards)
-        self._shards: tuple[ThreadSafeLruDict[tuple[str, str], SuffixMatch], ...] = tuple(
-            ThreadSafeLruDict(per_shard) for _ in range(shards)
-        )
+        if cache_capacity <= 0:
+            # No per-hostname LRU at all: every lookup walks the trie.
+            # The supported mode for packed snapshots, whose uncached
+            # walk is fast enough that the cache is optional.
+            self._shards = ()
+        else:
+            per_shard = max(1, cache_capacity // shards)
+            self._shards: tuple[ThreadSafeLruDict[tuple[str, str], SuffixMatch], ...] = tuple(
+                ThreadSafeLruDict(per_shard) for _ in range(shards)
+            )
 
     @property
     def registry(self) -> SnapshotRegistry:
@@ -199,6 +205,8 @@ class QueryEngine:
     def _match(self, snapshot: PslSnapshot, hostname: str) -> tuple[SuffixMatch, str, bool]:
         """Cached lookup; returns (match, normalized name, was cached)."""
         name = normalize_or_reject(hostname)
+        if not self._shards:
+            return snapshot.match(name), name, False
         key = (snapshot.fingerprint, name)
         shard = self._shards[hash(key) % len(self._shards)]
         match = shard.get(key)

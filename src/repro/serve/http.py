@@ -166,6 +166,30 @@ class PslServer(ThreadingHTTPServer):
             "Requests currently being processed.",
             lambda: self.inflight,
         )
+        metrics.callback_gauge(
+            "psl_serve_resident_packed_bytes",
+            "Bytes of packed snapshot buffer resident (shared sections counted once).",
+            lambda: registry.memory_accounting().packed_bytes,
+        )
+        metrics.callback_gauge(
+            "psl_serve_resident_dict_bytes",
+            "Measured heap bytes of resident dict-trie snapshots.",
+            lambda: registry.memory_accounting().dict_bytes,
+        )
+        metrics.callback_gauge(
+            "psl_serve_resident_dict_bytes_estimate",
+            "What every resident version would cost as a dict trie (the packed-vs-dict baseline).",
+            lambda: registry.memory_accounting().dict_bytes_estimate,
+        )
+        metrics.multi_callback_gauge(
+            "psl_serve_snapshot_packed_mmap_shared",
+            "Per resident version: 1 when served from an OS-shared packed mmap, 0 otherwise.",
+            ("version",),
+            lambda: {
+                str(row["index"]): 1.0 if row["packed_mmap_shared"] else 0.0
+                for row in registry.memory_accounting().versions
+            },
+        )
 
     @property
     def inflight(self) -> int:

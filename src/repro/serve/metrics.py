@@ -247,6 +247,58 @@ class CallbackGauge(_Metric):
         return lines
 
 
+class MultiCallbackGauge(_Metric):
+    """A labeled gauge sampled whole from one callable at scrape time.
+
+    The callback returns ``{label_value_tuple_or_str: value}`` for a
+    dynamic label population — e.g. one ``packed_mmap_shared`` sample
+    per *resident* snapshot version, whatever those happen to be when
+    the scrape lands.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        callback: Callable[[], Mapping],
+    ) -> None:
+        if not labelnames:
+            raise ValueError("MultiCallbackGauge requires label names")
+        super().__init__(name, help_text, labelnames)
+        self._callback = callback
+
+    def samples(self) -> dict[tuple[str, ...], float]:
+        raw = self._callback()
+        samples: dict[tuple[str, ...], float] = {}
+        for key, value in raw.items():
+            if isinstance(key, tuple):
+                parts = tuple(str(part) for part in key)
+            else:
+                parts = (str(key),)
+            if len(parts) != len(self.labelnames):
+                raise ValueError(
+                    f"{self.name}: sample key {key!r} does not fit labels {self.labelnames}"
+                )
+            samples[parts] = float(value)
+        return samples
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        try:
+            samples = self.samples()
+        except Exception:  # a broken callback must never break the scrape
+            return lines
+        for key in sorted(samples):
+            labels = dict(zip(self.labelnames, key))
+            lines.append(
+                f"{self.name}{_format_labels(labels)} {_format_value(samples[key])}"
+            )
+        return lines
+
+
 class MetricsRegistry:
     """The set of instruments one server exposes at ``/metrics``."""
 
@@ -283,6 +335,17 @@ class MetricsRegistry:
         self, name: str, help_text: str, callback: Callable[[], float]
     ) -> CallbackGauge:
         return self._register(CallbackGauge(name, help_text, callback))  # type: ignore[return-value]
+
+    def multi_callback_gauge(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        callback: Callable[[], Mapping],
+    ) -> MultiCallbackGauge:
+        return self._register(  # type: ignore[return-value]
+            MultiCallbackGauge(name, help_text, labelnames, callback)
+        )
 
     def get(self, name: str) -> _Metric | None:
         with self._lock:

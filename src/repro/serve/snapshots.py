@@ -38,6 +38,11 @@ from typing import Callable
 from repro.history.store import VersionStore
 from repro.history.version import PslVersion
 from repro.psl.list import PublicSuffixList, SuffixMatch
+from repro.psl.packed import (
+    PackedHistory,
+    dict_trie_bytes,
+    estimated_dict_trie_bytes,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +54,19 @@ class PslSnapshot:
     #: Wall-clock time the snapshot was materialized (for uptime-style
     #: introspection; *staleness* is measured from the version date).
     built_at: float
+    #: Whether this snapshot answers off a packed (flat, immutable)
+    #: trie rather than the dict trie.
+    packed: bool = False
+    #: Whether the packed buffer is an OS-shared memory map (pages
+    #: shared with every other process mapping the same artifact).
+    mmap_shared: bool = False
+    #: Heap/buffer bytes this snapshot keeps resident.  For packed
+    #: snapshots this is the version's slice of the shared buffer; for
+    #: dict snapshots it is the measured deep size of the trie.
+    resident_bytes: int = 0
+    #: What a dict trie of this version costs (measured when one
+    #: exists, estimated from node/rule counts when packed).
+    dict_bytes_estimate: int = 0
 
     @property
     def index(self) -> int:
@@ -87,10 +105,30 @@ class PslSnapshot:
             "commit": self.version.commit[:12],
             "rule_count": self.rule_count,
             "fingerprint": self.fingerprint[:12],
+            "packed": self.packed,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PslSnapshot(v{self.index} {self.date} {self.rule_count} rules)"
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccounting:
+    """Resident-memory breakdown across one registry's snapshots.
+
+    ``packed_bytes`` counts the per-version slices of resident packed
+    snapshots plus (once) the packed buffer's shared sections;
+    ``dict_bytes`` counts measured dict-trie bytes of resident dict
+    snapshots; ``dict_bytes_estimate`` is what *all* resident versions
+    would cost as dict tries — the observable form of the bench's
+    resident-set-reduction claim.
+    """
+
+    packed_bytes: int
+    dict_bytes: int
+    dict_bytes_estimate: int
+    shared_bytes: int
+    versions: tuple[dict, ...]
 
 
 class UnknownVersionError(LookupError):
@@ -130,12 +168,18 @@ class SnapshotRegistry:
         active: int = -1,
         resident_capacity: int = 4,
         clock: Callable[[], float] = time.time,
+        packed: PackedHistory | None = None,
     ) -> None:
         if resident_capacity < 1:
             raise ValueError("resident_capacity must be positive")
         if len(store) == 0:
             raise ValueError("cannot serve an empty version store")
+        if packed is not None and len(packed) != len(store):
+            raise ValueError(
+                f"packed history has {len(packed)} versions, store has {len(store)}"
+            )
         self._store = store
+        self._packed = packed
         self._clock = clock
         self._lock = threading.Lock()
         self._resident: OrderedDict[int, PslSnapshot] = OrderedDict()
@@ -160,6 +204,11 @@ class SnapshotRegistry:
     def store(self) -> VersionStore:
         """The backing history."""
         return self._store
+
+    @property
+    def packed_history(self) -> PackedHistory | None:
+        """The shared packed buffer, when serving off the packed path."""
+        return self._packed
 
     def __len__(self) -> int:
         return len(self._store)
@@ -214,11 +263,31 @@ class SnapshotRegistry:
         if cached is not None:
             self._resident.move_to_end(index)
             return cached
-        snapshot = PslSnapshot(
-            version=self._store.version(index),
-            psl=self._store.checkout(index),
-            built_at=self._clock(),
-        )
+        if self._packed is not None:
+            # The packed path: a trie *view* into the shared buffer —
+            # no trie build, no rule materialization, near-zero-copy.
+            trie = self._packed.trie(index)
+            snapshot = PslSnapshot(
+                version=self._store.version(index),
+                psl=PublicSuffixList.from_packed(trie),
+                built_at=self._clock(),
+                packed=True,
+                mmap_shared=self._packed.mmap_shared,
+                resident_bytes=self._packed.version_bytes(index),
+                dict_bytes_estimate=estimated_dict_trie_bytes(
+                    trie.node_count, len(trie)
+                ),
+            )
+        else:
+            psl = self._store.checkout(index)
+            measured = dict_trie_bytes(psl._trie)
+            snapshot = PslSnapshot(
+                version=self._store.version(index),
+                psl=psl,
+                built_at=self._clock(),
+                resident_bytes=measured,
+                dict_bytes_estimate=measured,
+            )
         self._resident[index] = snapshot
         self._evict_locked()
         return snapshot
@@ -262,6 +331,45 @@ class SnapshotRegistry:
                 self._generation += 1
             self._evict_locked()
             return snapshot
+
+    def memory_accounting(self) -> MemoryAccounting:
+        """The resident-memory breakdown (the ``/metrics`` source).
+
+        Per-version rows cover every resident snapshot; the totals are
+        what the memory gauges export — resident packed bytes (shared
+        sections counted once) against the dict-trie bytes the same
+        residency would cost.
+        """
+        with self._lock:
+            snapshots = list(self._resident.values())
+        packed_bytes = dict_bytes = estimate = 0
+        rows = []
+        for snapshot in snapshots:
+            if snapshot.packed:
+                packed_bytes += snapshot.resident_bytes
+            else:
+                dict_bytes += snapshot.resident_bytes
+            estimate += snapshot.dict_bytes_estimate
+            rows.append(
+                {
+                    "index": snapshot.index,
+                    "packed": snapshot.packed,
+                    "packed_mmap_shared": snapshot.mmap_shared,
+                    "resident_bytes": snapshot.resident_bytes,
+                    "dict_bytes_estimate": snapshot.dict_bytes_estimate,
+                }
+            )
+        shared = 0
+        if self._packed is not None and packed_bytes:
+            shared = self._packed.shared_bytes
+            packed_bytes += shared
+        return MemoryAccounting(
+            packed_bytes=packed_bytes,
+            dict_bytes=dict_bytes,
+            dict_bytes_estimate=estimate,
+            shared_bytes=shared,
+            versions=tuple(rows),
+        )
 
     def describe(self, *, limit: int | None = None) -> dict:
         """Registry state in the ``/versions`` wire shape."""

@@ -128,6 +128,75 @@ class TestArtifactStore:
         assert ArtifactStore(str(tmp_path)).get("stage", "d" * 64) is None
 
 
+class TestRawArtifacts:
+    """The mmap-able artifact kind: bytes stored verbatim, no pickle."""
+
+    def test_raw_roundtrip_across_store_instances(self, tmp_path):
+        payload = bytes(range(256)) * 4
+        first = ArtifactStore(str(tmp_path))
+        artifact = first.put("packed", "a" * 64, payload, raw=True)
+        assert artifact.path.endswith(".bin")
+        assert artifact.nbytes == len(payload)
+        second = ArtifactStore(str(tmp_path))
+        value, loaded, source = second.get("packed", "a" * 64)
+        assert value == payload and isinstance(value, bytes)
+        assert source == "disk" and loaded.digest == artifact.digest
+
+    def test_raw_payload_is_the_bytes_verbatim(self, tmp_path):
+        payload = b"PSLPAK1\0 not a pickle"
+        store = ArtifactStore(str(tmp_path))
+        artifact = store.put("packed", "b" * 64, payload, raw=True)
+        with open(artifact.path, "rb") as handle:
+            assert handle.read() == payload
+
+    def test_raw_rejects_non_bytes(self):
+        store = ArtifactStore()
+        with pytest.raises(TypeError, match="raw artifacts must be bytes"):
+            store.put("packed", "c" * 64, {"not": "bytes"}, raw=True)
+
+    def test_payload_path_returns_verified_file(self, tmp_path):
+        payload = b"x" * 1024
+        store = ArtifactStore(str(tmp_path))
+        artifact = store.put("packed", "d" * 64, payload, raw=True)
+        path = ArtifactStore(str(tmp_path)).payload_path("packed", "d" * 64)
+        assert path == artifact.path
+
+    def test_payload_path_refuses_corruption(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        artifact = store.put("packed", "e" * 64, b"y" * 1024, raw=True)
+        with open(artifact.path, "r+b") as handle:
+            handle.seek(100)
+            handle.write(b"\xff")
+        assert ArtifactStore(str(tmp_path)).payload_path("packed", "e" * 64) is None
+        assert ArtifactStore(str(tmp_path)).get("packed", "e" * 64) is None
+
+    def test_payload_path_absent_for_memory_only_store(self):
+        store = ArtifactStore()
+        store.put("packed", "f" * 64, b"z", raw=True)
+        assert store.payload_path("packed", "f" * 64) is None
+
+    def test_payload_path_works_for_pickle_artifacts_too(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        artifact = store.put("stage", "1" * 64, [1, 2, 3])
+        path = store.payload_path("stage", "1" * 64)
+        assert path == artifact.path and path.endswith(".pkl")
+
+    def test_raw_stage_flows_through_the_pipeline(self, tmp_path):
+        stage = Stage(
+            name="blob", build=lambda i, c: b"\x00\x01payload", raw=True
+        )
+        pipeline = Pipeline([stage], store=ArtifactStore(str(tmp_path)))
+        assert pipeline.build("blob") == b"\x00\x01payload"
+        path = pipeline.artifact("blob").path
+        assert path.endswith(".bin")
+        # A fresh process loads the bytes verbatim off disk.
+        fresh = Pipeline(
+            [dataclasses.replace(stage)], store=ArtifactStore(str(tmp_path))
+        )
+        assert fresh.build("blob") == b"\x00\x01payload"
+        assert fresh.report.count("disk") == 1
+
+
 def _diamond(counters, versions=None, params=None):
     """a -> (b, c) -> d with per-stage build counters."""
     versions = versions or {}

@@ -44,6 +44,50 @@ class TestInsertRemove:
         trie = SuffixTrie(rules)
         assert set(trie.iter_rules()) == rules
 
+    def test_remove_prunes_dead_nodes(self):
+        # Regression: remove() used to leave empty interior nodes behind,
+        # so long-lived churn (the delta-replay packer) grew the trie
+        # without bound.  Node count must return to baseline.
+        trie = SuffixTrie(_rules("com", "co.uk"))
+        baseline = trie.node_count()
+        deep = Rule.parse("a.b.c.d.example.org")
+        trie.insert(deep)
+        assert trie.node_count() == baseline + 6
+        assert trie.remove(deep)
+        assert trie.node_count() == baseline
+
+    def test_remove_prunes_only_unshared_suffix(self):
+        trie = SuffixTrie(_rules("co.uk"))
+        baseline = trie.node_count()
+        trie.insert(Rule.parse("gov.uk"))  # shares the "uk" node
+        assert trie.node_count() == baseline + 1
+        assert trie.remove(Rule.parse("gov.uk"))
+        assert trie.node_count() == baseline
+        assert trie.prevailing(_rev("a.co.uk")).text == "co.uk"
+
+    def test_remove_keeps_nodes_with_remaining_rules(self):
+        # "uk" carries its own rule; removing "co.uk" must not prune it.
+        trie = SuffixTrie(_rules("uk", "co.uk"))
+        assert trie.remove(Rule.parse("co.uk"))
+        assert trie.prevailing(_rev("a.uk")).text == "uk"
+        assert trie.node_count() == SuffixTrie(_rules("uk")).node_count()
+
+    def test_remove_keeps_nodes_with_exception_rules(self):
+        trie = SuffixTrie(_rules("www.ck", "!www.ck"))
+        assert trie.remove(Rule.parse("www.ck"))
+        assert trie.prevailing(_rev("www.ck")).text == "!www.ck"
+
+    def test_churn_does_not_leak_nodes(self):
+        trie = SuffixTrie(_rules("com"))
+        baseline = trie.node_count()
+        for round_ in range(5):
+            added = _rules(f"x{round_}.deep.net", f"y{round_}.deeper.org", "*.zz")
+            for rule in added:
+                trie.insert(rule)
+            for rule in added:
+                assert trie.remove(rule)
+            assert trie.node_count() == baseline, f"leak after round {round_}"
+
 
 class TestPrevailing:
     def test_longest_match_wins(self):

@@ -15,6 +15,7 @@ import pytest
 
 from repro.history.store import VersionStore
 from repro.net.errors import HostnameError
+from repro.psl.packed import PackedHistory, pack_history
 from repro.psl.rules import Rule
 from repro.serve.engine import BatchItemError, QueryEngine, SiteAnswer
 from repro.serve.snapshots import PslSnapshot, SnapshotRegistry, UnknownVersionError
@@ -41,6 +42,14 @@ def make_store() -> VersionStore:
         V2_DATE, added=[Rule.parse("*.kawasaki.jp"), Rule.parse("!city.kawasaki.jp")]
     )
     return store
+
+
+def make_registry(store: VersionStore, backend: str, **kwargs) -> SnapshotRegistry:
+    """A registry over either snapshot backend (the packed parity axis)."""
+    if backend == "packed":
+        packed = PackedHistory.from_buffer(pack_history(store))
+        return SnapshotRegistry(store, packed=packed, **kwargs)
+    return SnapshotRegistry(store, **kwargs)
 
 
 @pytest.fixture()
@@ -72,8 +81,11 @@ class TestPslSnapshot:
 
     def test_describe_shape(self, registry):
         described = registry.active.describe()
-        assert set(described) == {"index", "date", "commit", "rule_count", "fingerprint"}
+        assert set(described) == {
+            "index", "date", "commit", "rule_count", "fingerprint", "packed",
+        }
         assert described["date"] == V2_DATE.isoformat()
+        assert described["packed"] is False
 
 
 class TestResolve:
@@ -218,15 +230,21 @@ class TestQueryEngine:
         assert engine.stats().hits == 0
 
 
+@pytest.mark.parametrize("backend", ["dict", "packed"])
 class TestConcurrentHotSwap:
-    """Readers under live swaps: never a half answer, never a drop."""
+    """Readers under live swaps: never a half answer, never a drop.
+
+    Parametrized over both snapshot backends: the packed (flat,
+    mmap-able) path must be just as torn-answer-free as the dict path,
+    including under LRU eviction of resident packed snapshots.
+    """
 
     READERS = 6
     LOOKUPS_PER_READER = 400
     SWAPS = 120
 
-    def test_lookups_remain_version_consistent_under_swaps(self, store):
-        registry = SnapshotRegistry(store)
+    def test_lookups_remain_version_consistent_under_swaps(self, store, backend):
+        registry = make_registry(store, backend)
         engine = QueryEngine(registry, cache_capacity=4096, shards=4)
         host = "www.example.co.uk"
         # The only legal (version, site) pairings, precomputed serially.
@@ -276,8 +294,8 @@ class TestConcurrentHotSwap:
         assert all(count >= self.LOOKUPS_PER_READER for count in answered)
         assert registry.generation > 0
 
-    def test_batches_are_single_version_under_swaps(self, store):
-        registry = SnapshotRegistry(store)
+    def test_batches_are_single_version_under_swaps(self, store, backend):
+        registry = make_registry(store, backend)
         engine = QueryEngine(registry)
         hosts = [f"h{i}.example.co.uk" for i in range(50)]
         errors: list[BaseException] = []
@@ -310,10 +328,10 @@ class TestConcurrentHotSwap:
             thread.join(timeout=120)
         assert not errors, f"raised under swap load: {errors[:3]}"
 
-    def test_concurrent_resident_fills_are_safe(self, store):
+    def test_concurrent_resident_fills_are_safe(self, store, backend):
         """Many threads demanding different versions at once (store
         checkout is not thread-safe; the registry must serialize it)."""
-        registry = SnapshotRegistry(store, resident_capacity=2)
+        registry = make_registry(store, backend, resident_capacity=2)
         errors: list[BaseException] = []
 
         def prober(index: int) -> None:
