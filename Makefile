@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve bench-packed serve-smoke
+.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve bench-packed bench-update serve-smoke update-faults
 
 test:  ## tier-1: the full fast suite
 	$(PYTHON) -m pytest -x -q
@@ -31,5 +31,11 @@ bench-serve:  ## the serving-layer gates (cached >= 50x rebuild, batch >= 5x sin
 bench-packed:  ## the packed-snapshot gates (uncached match <= 5.87 µs, resident cut >= 5x)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_packed.py -m bench -q -s
 
+bench-update:  ## the update-loop gates (swap propagation < 250ms, SLO gauges exact vs journal)
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_update.py -m bench -q -s
+
 serve-smoke:  ## start psl-serve on an ephemeral port, hit every endpoint, assert JSON shapes
 	$(PYTHON) -m repro.serve.cli --smoke
+
+update-faults:  ## the full fault-plan soak: every upstream failure mode under live client load
+	$(PYTHON) -m repro.update.cli --soak

@@ -15,8 +15,13 @@ Layering::
     QueryEngine       (engine.py)     thread-safe sharded LRU caching,
          |                            single/batch/compare APIs
     PslServer         (http.py)       ThreadingHTTPServer + admission
-         |                            control + structured errors
+         |                            control + per-connection timeouts
+         |                            + graceful drain on SIGTERM
     psl-serve         (cli.py)        console entry point + smoke test
+
+A :class:`~repro.update.watcher.Watcher` (see :mod:`repro.update`) can
+be attached to a :class:`PslServer` to keep it continuously current
+against upstream, with staleness SLOs on ``/healthz``.
 
 See ``docs/architecture.md`` (Serving layer) and
 ``examples/serve_queries.py`` for a driving tour.
@@ -31,7 +36,12 @@ from repro.serve.engine import (
     QueryEngine,
     SiteAnswer,
 )
-from repro.serve.http import PslServer, serve_forever
+from repro.serve.http import (
+    DEFAULT_DRAIN_DEADLINE,
+    DEFAULT_REQUEST_TIMEOUT,
+    PslServer,
+    serve_forever,
+)
 from repro.serve.metrics import (
     CallbackGauge,
     Counter,
@@ -54,6 +64,8 @@ __all__ = [
     "ClassifyAnswer",
     "CompareAnswer",
     "Counter",
+    "DEFAULT_DRAIN_DEADLINE",
+    "DEFAULT_REQUEST_TIMEOUT",
     "EngineStats",
     "Gauge",
     "Histogram",

@@ -7,6 +7,11 @@ Usage::
     psl-serve --version 2019-06-01     # pin an historical version
     psl-serve --cache-dir .psl-cache   # warm the history from the
                                        # artifact store (repro.pipeline)
+    psl-serve --watch --behind 8       # serve 8 versions behind a
+                                       # synthetic upstream and let the
+                                       # repro.update watcher catch up
+                                       # live (staleness SLOs on
+                                       # /healthz and /metrics)
     psl-serve --smoke                  # self-test: start on an
                                        # ephemeral port, hit every
                                        # endpoint, assert JSON shapes
@@ -15,6 +20,10 @@ With ``--cache-dir`` the history comes out of the same
 content-addressed :class:`~repro.pipeline.ArtifactStore` that
 ``psl-repro --cache-dir`` populates, so a box that has rendered any
 figure starts the server without re-synthesizing the world.
+
+Shutdown is graceful: SIGTERM/SIGINT flip ``/healthz`` to ``draining``
+(503), stop the watcher, stop accepting connections, and drain
+in-flight requests under ``--drain-deadline`` seconds before closing.
 """
 
 from __future__ import annotations
@@ -90,9 +99,41 @@ def build_world(seed: int, cache_dir: str | None, *, packed: bool):
     return store, PackedHistory.from_buffer(pack_history(store))
 
 
+def prefix_store(full: VersionStore, count: int) -> VersionStore:
+    """The first ``count`` versions of ``full`` as their own store.
+
+    Commit hashes chain identically, so the prefix is exactly what a
+    consumer who vendored the list at version ``count - 1`` holds —
+    the starting state of the live-update scenario.
+    """
+    if not 1 <= count <= len(full):
+        raise ValueError(f"prefix count {count} out of range [1, {len(full)}]")
+    store = VersionStore()
+    for version in full.versions[:count]:
+        store.commit(version.date, version.delta, message=version.message)
+    return store
+
+
 def build_server(args: argparse.Namespace) -> PslServer:
-    """Assemble store -> registry -> engine -> server from parsed flags."""
+    """Assemble store -> registry -> engine -> server from parsed flags.
+
+    With ``--watch`` the full history becomes the synthetic upstream's
+    truth, the registry starts ``--behind`` versions back, and a
+    :class:`repro.update.watcher.Watcher` (not yet started — the
+    caller owns the thread) is attached for SLO metrics and catch-up.
+    """
     store, packed = build_world(args.seed, args.cache_dir, packed=args.packed)
+    watch = getattr(args, "watch", False)
+    if watch:
+        truth = store
+        behind = max(1, min(args.behind, len(truth) - 1))
+        store = prefix_store(truth, len(truth) - behind)
+        if packed is not None:
+            # The mmap/full-history buffer covers versions the prefix
+            # registry must not expose; repack the prefix in-process.
+            from repro.psl.packed import PackedHistory, pack_history
+
+            packed = PackedHistory.from_buffer(pack_history(store))
     registry = SnapshotRegistry(
         store,
         active=args.version,
@@ -102,13 +143,26 @@ def build_server(args: argparse.Namespace) -> PslServer:
     engine = QueryEngine(
         registry, cache_capacity=args.cache_capacity, shards=args.shards
     )
-    return PslServer(
+    server = PslServer(
         (args.host, args.port),
         registry,
         engine=engine,
         max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
         quiet=not args.verbose,
     )
+    if watch:
+        from repro.update.upstream import SyntheticUpstream
+        from repro.update.watcher import Watcher, WatcherConfig
+
+        upstream = SyntheticUpstream(truth)
+        watcher = Watcher(
+            registry,
+            upstream,
+            config=WatcherConfig(poll_interval=args.poll_interval),
+        )
+        server.attach_watcher(watcher)
+    return server
 
 
 # -- the smoke self-test -----------------------------------------------------
@@ -233,8 +287,8 @@ def _smoke_main(args: argparse.Namespace) -> int:
     try:
         failures = run_smoke(server.url)
     finally:
-        server.shutdown()
-        server.server_close()
+        if not server.drain():
+            failures.append("graceful drain")
         thread.join(timeout=5)
     if failures:
         print(f"\nsmoke FAILED: {len(failures)} check(s): {', '.join(failures)}")
@@ -279,6 +333,26 @@ def main(argv: list[str] | None = None) -> int:
         help="warm the history from this repro.pipeline artifact store",
     )
     parser.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-connection socket timeout in seconds (slow-client guard)",
+    )
+    parser.add_argument(
+        "--drain-deadline", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM/SIGINT",
+    )
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="live-update mode: start behind a synthetic upstream and let the watcher catch up",
+    )
+    parser.add_argument(
+        "--behind", type=int, default=8,
+        help="with --watch: how many versions behind upstream to start",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=5.0,
+        help="with --watch: seconds between upstream polls",
+    )
+    parser.add_argument(
         "--packed", action="store_true",
         help="serve off the packed zero-copy trie (mmap-shared with --cache-dir)",
     )
@@ -308,8 +382,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{time.perf_counter() - started:.1f}s; active v{active.index} "
         f"({active.date}, {active.rule_count} rules; {mode})"
     )
-    print(f"listening on {server.url}  (Ctrl-C to stop)")
-    serve_forever(server)
+    if server.watcher is not None:
+        status = server.watcher.status()
+        print(
+            f"watching upstream: {status.versions_behind} version(s) behind, "
+            f"polling every {args.poll_interval:.1f}s (state: {status.state.value})"
+        )
+        server.watcher.start()
+    print(f"listening on {server.url}  (Ctrl-C to stop; SIGTERM drains)")
+    drained = serve_forever(server, drain_deadline=args.drain_deadline)
+    print("drained cleanly" if drained else "drain deadline elapsed with requests in flight")
     return 0
 
 

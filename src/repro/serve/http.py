@@ -28,6 +28,15 @@ Graceful degradation is a design rule, not an accident:
   structured 400 carrying the machine-readable reason, never a stack
   trace.
 * **unknown versions** — 404 with the offending spec.
+* **slow clients** — every accepted connection carries a per-socket
+  timeout (``request_timeout``), so a slowloris-style peer that stalls
+  mid-request is disconnected instead of pinning a handler thread
+  forever.
+* **shutdown** — :meth:`PslServer.drain` is the graceful path: flip
+  ``/healthz`` to ``draining`` (503), stop the update watcher, stop
+  accepting connections, let in-flight requests finish under a bounded
+  deadline, then close.  :func:`serve_forever` wires SIGTERM/SIGINT to
+  it.
 * **anything else** — a 500 with an opaque body; the handler never
   lets an exception reach the socket layer, so one poisoned request
   cannot take a worker thread down.
@@ -36,11 +45,15 @@ Graceful degradation is a design rule, not an accident:
 from __future__ import annotations
 
 import json
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import TYPE_CHECKING, Any
 from urllib.parse import parse_qs, urlsplit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (update -> serve)
+    from repro.update.watcher import Watcher
 
 from repro.net.errors import HostnameError
 from repro.serve.engine import QueryEngine
@@ -48,6 +61,11 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.snapshots import SnapshotRegistry, UnknownVersionError
 
 DEFAULT_MAX_INFLIGHT = 64
+#: Per-connection socket timeout (seconds): how long a peer may stall
+#: between bytes before the handler thread abandons the connection.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+#: How long :meth:`PslServer.drain` waits for in-flight requests.
+DEFAULT_DRAIN_DEADLINE = 10.0
 #: Request-body ceiling (bytes): a batch of ~100k hostnames fits; a
 #: memory-exhaustion payload does not.
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -77,20 +95,28 @@ class PslServer(ThreadingHTTPServer):
         engine: QueryEngine | None = None,
         metrics: MetricsRegistry | None = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
         quiet: bool = True,
     ) -> None:
         super().__init__(address, _Handler)
         if max_inflight < 1:
             raise ValueError("max_inflight must be positive")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive when set")
         self.registry = registry
         self.engine = engine if engine is not None else QueryEngine(registry)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.gate = threading.Semaphore(max_inflight)
         self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
         self.quiet = quiet
         self.started_at = time.time()
+        self.watcher: "Watcher | None" = None
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        self._draining = False
+        self._drained = False
+        self._drain_ok = True
         self._install_metrics()
 
     # -- metrics wiring ------------------------------------------------------
@@ -191,6 +217,103 @@ class PslServer(ThreadingHTTPServer):
             },
         )
 
+    def attach_watcher(self, watcher: "Watcher") -> None:
+        """Bind an update watcher: SLO gauges + the ``/healthz`` block.
+
+        The staleness SLO surface (ISSUE: age of active version,
+        versions behind upstream, consecutive failed polls, health
+        state) becomes scrapeable the moment a watcher is attached;
+        :meth:`drain` then also owns stopping the watcher thread.
+        """
+        if self.watcher is not None:
+            raise ValueError("a watcher is already attached")
+        self.watcher = watcher
+        metrics = self.metrics
+        metrics.callback_gauge(
+            "psl_serve_update_active_age_days",
+            "Age in days of the active snapshot's list version (the staleness SLO).",
+            lambda: watcher.status().active_age_days,
+        )
+        metrics.callback_gauge(
+            "psl_serve_update_versions_behind",
+            "Published upstream versions not yet ingested.",
+            lambda: watcher.status().versions_behind,
+        )
+        metrics.callback_gauge(
+            "psl_serve_update_failed_polls",
+            "Consecutive upstream polls that failed (resets on success).",
+            lambda: watcher.status().consecutive_failed_polls,
+        )
+        metrics.callback_gauge(
+            "psl_serve_update_polls_total",
+            "Upstream polls attempted since start.",
+            lambda: watcher.status().polls,
+        )
+        metrics.callback_gauge(
+            "psl_serve_update_accepted_total",
+            "Versions ingested through the incremental patch path.",
+            lambda: watcher.status().accepted,
+        )
+        metrics.callback_gauge(
+            "psl_serve_update_resynced_total",
+            "Versions ingested through the full-snapshot resync path.",
+            lambda: watcher.status().resynced,
+        )
+        metrics.callback_gauge(
+            "psl_serve_update_quarantined_total",
+            "Upstream versions permanently skipped after failing validation.",
+            lambda: watcher.status().quarantined,
+        )
+        from repro.update.slo import HEALTH_STATES  # local: avoid import cycle
+
+        metrics.state_gauge(
+            "psl_serve_update_health",
+            "Update-loop health (one-hot): fresh, stale, or degraded.",
+            HEALTH_STATES,
+            lambda: watcher.status().state.value,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun; ``/healthz`` reports it."""
+        return self._draining
+
+    def drain(self, *, deadline: float = DEFAULT_DRAIN_DEADLINE) -> bool:
+        """Shut down gracefully; returns True when fully drained.
+
+        The sequence an operator's SIGTERM should trigger: flip
+        ``/healthz`` to ``draining`` (load balancers stop routing),
+        signal the watcher loop to exit, stop accepting connections,
+        wait up to ``deadline`` seconds for in-flight requests to
+        finish, join the watcher, close the listening socket.
+        Idempotent — repeated calls return the first outcome.
+
+        Must not be called from a handler thread or the thread running
+        :meth:`serve_forever` (``shutdown`` would deadlock); signal
+        handlers should set an event and drain from the main thread,
+        which is exactly what :func:`serve_forever` does.
+        """
+        if self._drained:
+            return self._drain_ok
+        self._draining = True
+        watcher = self.watcher
+        if watcher is not None:
+            watcher.request_stop()  # non-blocking; join after the drain wait
+        self.shutdown()  # stop the accept loop (serve_forever returns)
+        limit = time.monotonic() + max(0.0, deadline)
+        while self.inflight and time.monotonic() < limit:
+            time.sleep(0.01)
+        drained = self.inflight == 0
+        if watcher is not None:
+            remaining = max(0.5, limit - time.monotonic())
+            drained = watcher.stop(timeout=remaining) and drained
+        self.server_close()
+        self._drained = True
+        self._drain_ok = drained
+        return drained
+
     @property
     def inflight(self) -> int:
         with self._inflight_lock:
@@ -222,6 +345,16 @@ class _Handler(BaseHTTPRequestHandler):
     server: PslServer  # narrowed for the attribute accesses below
 
     # -- plumbing ------------------------------------------------------------
+
+    def setup(self) -> None:
+        # Per-connection socket timeout: StreamRequestHandler applies
+        # ``self.timeout`` to the connection, and stdlib
+        # ``handle_one_request`` treats a timeout as a fatal connection
+        # error — so a stalled (slowloris-style) client is disconnected
+        # instead of holding its handler thread forever.
+        if self.server.request_timeout is not None:
+            self.timeout = self.server.request_timeout
+        super().setup()
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.server.quiet:  # pragma: no cover - debug aid
@@ -394,14 +527,21 @@ class _Handler(BaseHTTPRequestHandler):
         return 200, self.server.registry.describe(limit=limit)
 
     def _get_healthz(self) -> tuple[int, dict]:
-        registry = self.server.registry
-        return 200, {
-            "status": "ok",
+        server = self.server
+        registry = server.registry
+        draining = server.draining
+        body = {
+            "status": "draining" if draining else "ok",
             "active": registry.active.describe(),
             "generation": registry.generation,
-            "uptime_seconds": round(time.time() - self.server.started_at, 3),
-            "inflight": self.server.inflight,
+            "uptime_seconds": round(time.time() - server.started_at, 3),
+            "inflight": server.inflight,
         }
+        if server.watcher is not None:
+            body["update"] = server.watcher.status().to_json()
+        # 503 while draining so load balancers eject the instance; the
+        # body still carries full state for operators mid-drain.
+        return (503 if draining else 200), body
 
     def _get_metrics(self) -> tuple[int, bytes]:
         return 200, self.server.metrics.render().encode("utf-8")
@@ -434,11 +574,54 @@ class _Handler(BaseHTTPRequestHandler):
         }
 
 
-def serve_forever(server: PslServer) -> None:
-    """Run until interrupted; the CLI's blocking loop."""
+def serve_forever(
+    server: PslServer,
+    *,
+    handle_signals: bool = True,
+    drain_deadline: float = DEFAULT_DRAIN_DEADLINE,
+) -> bool:
+    """Run until SIGTERM/SIGINT, then drain gracefully.
+
+    The CLI's blocking loop: the accept loop runs on a daemon thread
+    while the calling (main) thread waits for a stop signal, then runs
+    :meth:`PslServer.drain` — signal handlers themselves only set an
+    event, since calling ``shutdown`` from the serving thread would
+    deadlock.  Returns the drain verdict (True = fully drained).
+
+    ``handle_signals=False`` restores the plain blocking behaviour for
+    callers that manage the lifecycle themselves (tests, embedding).
+    """
+    if not handle_signals:
+        try:
+            server.serve_forever()
+        finally:
+            server.server_close()
+        return True
+
+    stop = threading.Event()
+
+    def request_stop(signum: int, frame: Any) -> None:  # pragma: no cover - signal path
+        stop.set()
+
+    previous: dict[int, Any] = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
     try:
-        server.serve_forever()
+        while not stop.wait(0.2):
+            pass
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
-    finally:
-        server.server_close()
+    drained = server.drain(deadline=drain_deadline)
+    thread.join(timeout=5)
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+    return drained

@@ -347,6 +347,28 @@ class MetricsRegistry:
             MultiCallbackGauge(name, help_text, labelnames, callback)
         )
 
+    def state_gauge(
+        self,
+        name: str,
+        help_text: str,
+        states: Sequence[str],
+        current: Callable[[], str],
+    ) -> MultiCallbackGauge:
+        """A one-hot gauge family over a closed state set.
+
+        Renders one ``name{state="..."}`` sample per known state, value
+        1 for the state ``current()`` reports and 0 for the rest — the
+        conventional Prometheus shape for enum-valued health (alert on
+        ``name{state="degraded"} == 1``, graph transitions over time).
+        """
+        closed = tuple(str(state) for state in states)
+
+        def sample() -> dict[str, float]:
+            active = str(current())
+            return {state: 1.0 if state == active else 0.0 for state in closed}
+
+        return self.multi_callback_gauge(name, help_text, ("state",), sample)
+
     def get(self, name: str) -> _Metric | None:
         with self._lock:
             return self._metrics.get(name)

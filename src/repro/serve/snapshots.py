@@ -37,8 +37,10 @@ from typing import Callable
 
 from repro.history.store import VersionStore
 from repro.history.version import PslVersion
+from repro.psl.diff import RuleDelta
 from repro.psl.list import PublicSuffixList, SuffixMatch
 from repro.psl.packed import (
+    PackedFormatError,
     PackedHistory,
     dict_trie_bytes,
     estimated_dict_trie_bytes,
@@ -263,9 +265,11 @@ class SnapshotRegistry:
         if cached is not None:
             self._resident.move_to_end(index)
             return cached
-        if self._packed is not None:
+        if self._packed is not None and index < len(self._packed):
             # The packed path: a trie *view* into the shared buffer —
             # no trie build, no rule materialization, near-zero-copy.
+            # Versions ingested live (beyond the packed buffer, which
+            # is immutable) fall through to the dict path below.
             trie = self._packed.trie(index)
             snapshot = PslSnapshot(
                 version=self._store.version(index),
@@ -329,6 +333,100 @@ class SnapshotRegistry:
             self._active = snapshot
             if snapshot is not previous:
                 self._generation += 1
+            self._evict_locked()
+            return snapshot
+
+    # -- live ingest (the update loop's entry point) -------------------------
+
+    def ingest(
+        self,
+        date: datetime.date,
+        delta: RuleDelta,
+        *,
+        message: str = "",
+        packed_blob: bytes | None = None,
+        expected_fingerprint: str | None = None,
+        activate: bool = True,
+    ) -> PslSnapshot:
+        """Append a new version to the history and hot-swap to it.
+
+        This is the watcher's push path, with a **last-good fallback**
+        contract: every input that can fail is validated *before* any
+        state mutates, so a rejected ingest — corrupt packed blob,
+        wrong fingerprint, a delta that does not apply cleanly — raises
+        and leaves the active snapshot, the resident set, and the
+        backing store exactly as they were.  Concurrent readers never
+        observe a failed ingest at all.
+
+        ``packed_blob``, when given, must be a single-version packed
+        buffer (as built by :func:`repro.psl.packed.pack_rules`); its
+        magic / length / CRC-32 are verified by
+        :class:`~repro.psl.packed.PackedHistory` and the new snapshot
+        serves straight off it.  ``expected_fingerprint`` additionally
+        pins the blob to the rule set the caller validated (a blob for
+        the wrong version is rejected even when internally intact).
+        Without a blob the snapshot materializes through the dict-trie
+        checkout path.
+
+        ``activate=False`` appends and materializes the version as a
+        resident without publishing it — the registry's active
+        snapshot (e.g. an operator-pinned version) keeps serving.
+        """
+        with self._lock:
+            psl: PublicSuffixList | None = None
+            blob_trie = None
+            if packed_blob is not None:
+                # CRC / magic / truncation checks happen here, before
+                # the store is touched: a corrupt blob cannot dethrone
+                # the active snapshot (it never gets near it).
+                history = PackedHistory.from_buffer(bytes(packed_blob))
+                if len(history) != 1:
+                    raise PackedFormatError(
+                        f"ingest blob must hold exactly one version, got {len(history)}"
+                    )
+                blob_trie = history.trie(0)
+                if (
+                    expected_fingerprint is not None
+                    and blob_trie.fingerprint != expected_fingerprint
+                ):
+                    raise PackedFormatError(
+                        "ingest blob fingerprint mismatch: expected "
+                        f"{expected_fingerprint[:12]}, blob carries "
+                        f"{blob_trie.fingerprint[:12]}"
+                    )
+                psl = PublicSuffixList.from_packed(blob_trie)
+            # ``commit`` validates monotone dates and clean application
+            # before mutating anything, so a bad delta raises with the
+            # store untouched.
+            version = self._store.commit(date, delta, message=message)
+            if psl is not None:
+                snapshot = PslSnapshot(
+                    version=version,
+                    psl=psl,
+                    built_at=self._clock(),
+                    packed=True,
+                    mmap_shared=False,
+                    resident_bytes=len(packed_blob),
+                    dict_bytes_estimate=estimated_dict_trie_bytes(
+                        blob_trie.node_count, len(blob_trie)
+                    ),
+                )
+            else:
+                psl = self._store.checkout(version.index)
+                measured = dict_trie_bytes(psl._trie)
+                snapshot = PslSnapshot(
+                    version=version,
+                    psl=psl,
+                    built_at=self._clock(),
+                    resident_bytes=measured,
+                    dict_bytes_estimate=measured,
+                )
+            self._resident[version.index] = snapshot
+            if activate:
+                previous = self._active
+                self._active = snapshot
+                if snapshot is not previous:
+                    self._generation += 1
             self._evict_locked()
             return snapshot
 

@@ -348,3 +348,127 @@ class TestConcurrentHotSwap:
         for thread in threads:
             thread.join(timeout=120)
         assert not errors, f"raised during resident fills: {errors[:3]}"
+
+
+class TestRegistryIngest:
+    """The watcher's push path: append + hot-swap with last-good fallback."""
+
+    def delta(self, *texts: str) -> "RuleDelta":
+        from repro.psl.diff import RuleDelta
+
+        return RuleDelta(added=frozenset(Rule.parse(t) for t in texts), removed=frozenset())
+
+    def test_ingest_appends_and_activates(self, store):
+        from repro.psl.packed import pack_rules
+
+        registry = SnapshotRegistry(store)
+        delta = self.delta("dev")
+        blob = pack_rules(frozenset(store.rules_at(2) | {Rule.parse("dev")}))
+        snapshot = registry.ingest(datetime.date(2023, 1, 1), delta, packed_blob=blob)
+        assert registry.active is snapshot
+        assert snapshot.index == 3
+        assert snapshot.packed
+        assert len(store) == 4
+        assert registry.generation == 1
+
+    def test_ingest_without_blob_uses_the_dict_path(self, store):
+        registry = SnapshotRegistry(store)
+        snapshot = registry.ingest(datetime.date(2023, 1, 1), self.delta("dev"))
+        assert registry.active is snapshot
+        assert not snapshot.packed
+
+    def test_ingest_activate_false_keeps_the_pinned_active(self, store):
+        registry = SnapshotRegistry(store)
+        before = registry.active
+        snapshot = registry.ingest(
+            datetime.date(2023, 1, 1), self.delta("dev"), activate=False
+        )
+        assert registry.active is before
+        assert registry.generation == 0
+        assert registry.resident(3) is snapshot
+
+    def test_corrupt_blob_leaves_the_active_snapshot_serving(self, store):
+        """The ISSUE's containment regression: activation of a packed
+        blob whose CRC fails must leave the previous active snapshot
+        serving uninterrupted — and the history unmutated."""
+        from repro.psl.packed import PackedFormatError, pack_rules
+
+        registry = SnapshotRegistry(store)
+        before = registry.active
+        rules = frozenset(store.rules_at(2) | {Rule.parse("dev")})
+        blob = bytearray(pack_rules(rules))
+        blob[-3] ^= 0xFF  # flip a payload byte: CRC-32 must catch it
+        with pytest.raises(PackedFormatError):
+            registry.ingest(
+                datetime.date(2023, 1, 1), self.delta("dev"), packed_blob=bytes(blob)
+            )
+        assert registry.active is before  # last-good fallback
+        assert len(store) == 3  # nothing committed
+        assert registry.generation == 0
+        # And the active snapshot still answers.
+        assert before.psl.match("www.example.co.uk").site == "example.co.uk"
+
+    def test_truncated_blob_is_rejected_before_commit(self, store):
+        from repro.psl.packed import PackedFormatError, pack_rules
+
+        registry = SnapshotRegistry(store)
+        blob = pack_rules(frozenset(store.rules_at(2) | {Rule.parse("dev")}))
+        with pytest.raises(PackedFormatError):
+            registry.ingest(
+                datetime.date(2023, 1, 1), self.delta("dev"), packed_blob=blob[: len(blob) // 2]
+            )
+        assert len(store) == 3
+
+    def test_wrong_fingerprint_blob_is_rejected(self, store):
+        from repro.psl.packed import PackedFormatError, pack_rules
+
+        registry = SnapshotRegistry(store)
+        # An internally intact blob for the WRONG rule set.
+        wrong = pack_rules(store.rules_at(0))
+        expected = registry.active.fingerprint
+        with pytest.raises(PackedFormatError):
+            registry.ingest(
+                datetime.date(2023, 1, 1),
+                self.delta("dev"),
+                packed_blob=wrong,
+                expected_fingerprint=expected,
+            )
+        assert len(store) == 3
+
+    def test_unclean_delta_is_rejected_with_store_untouched(self, store):
+        from repro.psl.diff import RuleDelta
+
+        registry = SnapshotRegistry(store)
+        bad = RuleDelta(
+            added=frozenset(), removed=frozenset({Rule.parse("never-there.example")})
+        )
+        with pytest.raises(ValueError):
+            registry.ingest(datetime.date(2023, 1, 1), bad)
+        assert len(store) == 3
+        assert registry.generation == 0
+
+    def test_ingested_version_is_queryable_like_any_other(self, store):
+        from repro.psl.packed import pack_rules
+
+        registry = SnapshotRegistry(store)
+        engine = QueryEngine(registry, cache_capacity=64, shards=2)
+        assert engine.site("a.foo.dev").site == "foo.dev"  # default rule
+        rules = frozenset(store.rules_at(2) | {Rule.parse("foo.dev")})
+        registry.ingest(
+            datetime.date(2023, 1, 1),
+            self.delta("foo.dev"),
+            packed_blob=pack_rules(rules),
+        )
+        answer = engine.site("a.foo.dev")
+        assert answer.version_index == 3
+        assert answer.public_suffix == "foo.dev"
+        assert answer.site == "a.foo.dev"
+
+    def test_packed_registry_accepts_live_ingest_past_the_buffer(self, store):
+        """A registry built over an immutable packed history must still
+        grow: versions beyond the buffer materialize via dict tries."""
+        registry = make_registry(store, "packed")
+        snapshot = registry.ingest(datetime.date(2023, 1, 1), self.delta("dev"))
+        assert registry.active is snapshot
+        assert snapshot.index == 3
+        assert registry.resident(3).psl.match("app.dev").site == "app.dev"
