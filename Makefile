@@ -5,7 +5,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve bench-packed bench-update serve-smoke update-faults
+.PHONY: check test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve bench-serve-smoke bench-packed bench-update serve-smoke serve-smoke-fleet update-faults
+
+check: test serve-smoke serve-smoke-fleet bench-serve-smoke  ## the pre-merge gate: tier-1 + both serve smokes + fast serve bench
+	@echo "check: all gates passed"
 
 test:  ## tier-1: the full fast suite
 	$(PYTHON) -m pytest -x -q
@@ -25,8 +28,11 @@ bench-runtime:  ## the resilient-runtime overhead gate (<10% on fault-free sweep
 bench-pipeline:  ## the artifact-pipeline gates (warm >= 5x cold, cold overhead < 10%)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_pipeline.py -m bench -q -s
 
-bench-serve:  ## the serving-layer gates (cached >= 50x rebuild, batch >= 5x singles)
+bench-serve:  ## the serving-layer gates (cached >= 50x rebuild, batch >= 5x singles, fleet scaling/p99/memory)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_serve.py -m bench -q -s
+
+bench-serve-smoke:  ## the same serving gates under a seconds-long load (functional contracts only)
+	BENCH_SERVE_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_bench_perf_serve.py -m bench -q
 
 bench-packed:  ## the packed-snapshot gates (uncached match <= 5.87 µs, resident cut >= 5x)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_packed.py -m bench -q -s
@@ -36,6 +42,9 @@ bench-update:  ## the update-loop gates (swap propagation < 250ms, SLO gauges ex
 
 serve-smoke:  ## start psl-serve on an ephemeral port, hit every endpoint, assert JSON shapes
 	$(PYTHON) -m repro.serve.cli --smoke
+
+serve-smoke-fleet:  ## the same smoke against a 4-worker pre-fork fleet (epoch agreement included)
+	$(PYTHON) -m repro.serve.cli --smoke --workers 4 --packed
 
 update-faults:  ## the full fault-plan soak: every upstream failure mode under live client load
 	$(PYTHON) -m repro.update.cli --soak

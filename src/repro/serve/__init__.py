@@ -14,19 +14,39 @@ Layering::
          |                            atomic copy-on-write hot-swap
     QueryEngine       (engine.py)     thread-safe sharded LRU caching,
          |                            single/batch/compare APIs
-    PslServer         (http.py)       ThreadingHTTPServer + admission
-         |                            control + per-connection timeouts
-         |                            + graceful drain on SIGTERM
-    psl-serve         (cli.py)        console entry point + smoke test
+    RequestCore       (core.py)       transport-agnostic routing,
+         |                            admission, error mapping, metrics
+    PslServer         (http.py)       thin ThreadingHTTPServer adapter:
+         |                            socket timeouts, Connection: close,
+         |                            graceful drain on SIGTERM
+    FleetSupervisor   (fleet.py)      pre-fork multi-worker front-end:
+         |                            SO_REUSEPORT (or parent-fd) port
+         |                            sharing, crash->respawn, epoch-bus
+         |                            coordinated fleet-wide hot-swap
+    psl-serve         (cli.py)        console entry point + smoke tests
+                                      (--workers N selects the fleet)
+
+:mod:`repro.serve.loadgen` drives Zipf-shaped HTTP load at either
+shape of server; ``make bench-serve`` gates latency and fleet scaling
+on it.
 
 A :class:`~repro.update.watcher.Watcher` (see :mod:`repro.update`) can
 be attached to a :class:`PslServer` to keep it continuously current
-against upstream, with staleness SLOs on ``/healthz``.
+against upstream, with staleness SLOs on ``/healthz``; in a fleet the
+watcher runs in the supervisor only and publishes ingests on the
+epoch bus.
 
 See ``docs/architecture.md`` (Serving layer) and
 ``examples/serve_queries.py`` for a driving tour.
 """
 
+from repro.serve.core import (
+    LocalEpochs,
+    Request,
+    RequestCore,
+    Response,
+    error_body,
+)
 from repro.serve.engine import (
     BatchAnswer,
     BatchItemError,
@@ -69,10 +89,15 @@ __all__ = [
     "EngineStats",
     "Gauge",
     "Histogram",
+    "LocalEpochs",
     "MemoryAccounting",
     "MetricsRegistry",
     "MultiCallbackGauge",
     "PslServer",
+    "Request",
+    "RequestCore",
+    "Response",
+    "error_body",
     "PslSnapshot",
     "QueryEngine",
     "SiteAnswer",

@@ -12,9 +12,16 @@ Usage::
                                        # repro.update watcher catch up
                                        # live (staleness SLOs on
                                        # /healthz and /metrics)
+    psl-serve --workers 4 --packed     # pre-fork fleet: 4 worker
+                                       # processes sharing one port
+                                       # (SO_REUSEPORT) and one packed
+                                       # snapshot buffer; /swap bumps
+                                       # the fleet epoch everywhere
     psl-serve --smoke                  # self-test: start on an
                                        # ephemeral port, hit every
                                        # endpoint, assert JSON shapes
+                                       # (add --workers N for the
+                                       # fleet smoke)
 
 With ``--cache-dir`` the history comes out of the same
 content-addressed :class:`~repro.pipeline.ArtifactStore` that
@@ -165,6 +172,57 @@ def build_server(args: argparse.Namespace) -> PslServer:
     return server
 
 
+def build_fleet(args: argparse.Namespace):
+    """Assemble a :class:`~repro.serve.fleet.FleetSupervisor` from flags.
+
+    The watch path mirrors :func:`build_server`, but the watcher runs
+    in the *supervisor only*: its validated ingests are published on
+    the fleet's epoch bus and every worker replays them, so the whole
+    fleet tracks upstream in lockstep.
+    """
+    from repro.serve.fleet import FleetConfig, FleetSupervisor
+
+    store, packed = build_world(args.seed, args.cache_dir, packed=args.packed)
+    upstream = None
+    watcher_config = None
+    if getattr(args, "watch", False):
+        truth = store
+        behind = max(1, min(args.behind, len(truth) - 1))
+        store = prefix_store(truth, len(truth) - behind)
+        if packed is not None:
+            from repro.psl.packed import PackedHistory, pack_history
+
+            packed = PackedHistory.from_buffer(pack_history(store))
+        from repro.update.upstream import SyntheticUpstream
+        from repro.update.watcher import WatcherConfig
+
+        upstream = SyntheticUpstream(truth)
+        watcher_config = WatcherConfig(poll_interval=args.poll_interval)
+    config = FleetConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        version=args.version,
+        resident_capacity=args.resident,
+        cache_capacity=args.cache_capacity,
+        shards=args.shards,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
+        drain_deadline=args.drain_deadline,
+        reuse_port=False if args.no_reuseport else None,
+        restart_budget=args.restart_budget,
+        run_dir=args.run_dir,
+    )
+    return FleetSupervisor(
+        store,
+        config=config,
+        packed=packed,
+        upstream=upstream,
+        watcher_config=watcher_config,
+        quiet=not args.verbose,
+    )
+
+
 # -- the smoke self-test -----------------------------------------------------
 
 def _fetch(url: str, *, data: bytes | None = None) -> tuple[int, bytes]:
@@ -277,7 +335,101 @@ def run_smoke(base: str) -> list[str]:
     return failures
 
 
+def wait_until_up(base: str, *, timeout: float = 10.0) -> bool:
+    """Poll ``/healthz`` until some process answers (fleet startup)."""
+    limit = time.monotonic() + timeout
+    while time.monotonic() < limit:
+        try:
+            status, _ = _fetch(base + "/healthz")
+            if status in (200, 503):
+                return True
+        except OSError:
+            pass
+        time.sleep(0.05)
+    return False
+
+
+def run_fleet_smoke(base: str, workers: int) -> list[str]:
+    """Fleet-specific checks on top of :func:`run_smoke`.
+
+    Asserts the coordination surface: every worker heartbeats, the
+    smoke's ``/swap`` calls propagated as epoch bumps everybody agrees
+    on, and the fleet gauges are scrapeable.
+    """
+    failures: list[str] = []
+
+    def check(name: str, condition: bool, detail: str = "") -> None:
+        line = f"{'ok' if condition else 'FAIL':4s} {name}"
+        if detail and not condition:
+            line += f" — {detail}"
+        print(line)
+        if not condition:
+            failures.append(name)
+
+    fleet: dict = {}
+    limit = time.monotonic() + 10.0
+    while time.monotonic() < limit:
+        _, raw = _fetch(base + "/healthz")
+        body = json.loads(raw)
+        fleet = body.get("fleet", {})
+        if fleet.get("agreement") and fleet.get("reporting", 0) >= workers:
+            break
+        time.sleep(0.1)
+    check("fleet block on /healthz", bool(fleet), "no 'fleet' key")
+    check(
+        "all workers reporting",
+        fleet.get("reporting", 0) >= workers,
+        f"{fleet.get('reporting')} of {workers}",
+    )
+    check(
+        "epoch agreement after swaps",
+        fleet.get("agreement") is True,
+        json.dumps(fleet)[:300],
+    )
+    check(
+        "epoch advanced by the smoke's swaps",
+        fleet.get("published_epoch", 0) >= 2,
+        str(fleet.get("published_epoch")),
+    )
+
+    _, raw = _fetch(base + "/metrics")
+    text = raw.decode()
+    for needle in (
+        "psl_fleet_published_epoch",
+        "psl_fleet_epoch_agreement",
+        "psl_fleet_worker_epoch",
+    ):
+        check(f"/metrics exposes {needle}", needle in text)
+    return failures
+
+
+def _fleet_smoke_main(args: argparse.Namespace) -> int:
+    args.port = 0
+    print("building history…", flush=True)
+    supervisor = build_fleet(args)
+    supervisor.start()
+    mode = "SO_REUSEPORT" if supervisor.reuse_port else "inherited parent fd"
+    print(f"fleet of {args.workers} workers on {supervisor.url} ({mode})")
+    failures: list[str] = []
+    try:
+        if not wait_until_up(supervisor.url):
+            failures.append("fleet startup")
+        else:
+            failures = run_smoke(supervisor.url)
+            failures += run_fleet_smoke(supervisor.url, args.workers)
+    finally:
+        if not supervisor.drain():
+            failures.append("graceful fleet drain")
+    if failures:
+        print(f"\nfleet smoke FAILED: {len(failures)} check(s): {', '.join(failures)}")
+        return 1
+    print("\nfleet smoke ok: every endpoint answered and every worker agreed on the epoch")
+    return 0
+
+
 def _smoke_main(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _fleet_smoke_main(args)
     args.port = 0  # ephemeral: the smoke test must not fight over a port
     print("building history…", flush=True)
     server = build_server(args)
@@ -356,6 +508,22 @@ def main(argv: list[str] | None = None) -> int:
         "--packed", action="store_true",
         help="serve off the packed zero-copy trie (mmap-shared with --cache-dir)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-fork worker processes sharing the port (1 = single-process threaded server)",
+    )
+    parser.add_argument(
+        "--no-reuseport", action="store_true",
+        help="with --workers: use the inherited-listener fallback instead of SO_REUSEPORT",
+    )
+    parser.add_argument(
+        "--restart-budget", type=int, default=16,
+        help="with --workers: total crash respawns before the supervisor gives up",
+    )
+    parser.add_argument(
+        "--run-dir", default=None,
+        help="with --workers: directory for the fleet's epoch bus (default: a temp dir)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log each request")
     parser.add_argument(
         "--smoke", action="store_true",
@@ -363,8 +531,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
     if args.smoke:
         return _smoke_main(args)
+
+    if args.workers > 1:
+        print("building history…", flush=True)
+        supervisor = build_fleet(args)
+        supervisor.start()
+        mode = "SO_REUSEPORT" if supervisor.reuse_port else "inherited parent fd"
+        print(
+            f"psl-serve fleet: {args.workers} workers on {supervisor.url} "
+            f"({mode}; epoch bus in {supervisor.bus.root})"
+        )
+        if supervisor.watcher is not None:
+            print(
+                f"watching upstream from the supervisor, polling every "
+                f"{args.poll_interval:.1f}s (ingests publish to every worker)"
+            )
+        print("Ctrl-C to stop; SIGTERM drains the whole fleet")
+        drained = supervisor.run()
+        print("fleet drained cleanly" if drained else "fleet drain was not fully clean")
+        return 0
 
     print("building history…", flush=True)
     started = time.perf_counter()

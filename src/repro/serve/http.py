@@ -1,9 +1,11 @@
-"""The HTTP front end: stdlib threading server over the query engine.
+"""The HTTP transport: a stdlib threading server over the request core.
 
-One :class:`PslServer` (a ``ThreadingHTTPServer``) owns a
-:class:`~repro.serve.snapshots.SnapshotRegistry`, a
-:class:`~repro.serve.engine.QueryEngine`, and a
-:class:`~repro.serve.metrics.MetricsRegistry`, and exposes:
+One :class:`PslServer` (a ``ThreadingHTTPServer``) is now a *thin
+adapter*: it parses HTTP into a :class:`~repro.serve.core.Request`,
+hands it to a :class:`~repro.serve.core.RequestCore` (which owns
+routing, admission, error mapping, and metrics — see
+:mod:`repro.serve.core`), and writes the returned
+:class:`~repro.serve.core.Response` to the socket.  The endpoints:
 
 =================  ======  ===================================================
 ``/site``          GET     ``?host=H[&version=V]`` — one lookup
@@ -11,79 +13,74 @@ One :class:`PslServer` (a ``ThreadingHTTPServer``) owns a
 ``/classify``      GET     ``?page=P&request=R`` — third-party verdict
 ``/compare``       GET     ``?host=H&old=V[&new=V2]`` — cross-version probe
 ``/versions``      GET     history + registry state (``?limit=N``)
-``/swap``          POST    ``?version=V`` — atomic hot-swap
-``/healthz``       GET     liveness + active version
+``/swap``          POST    ``?version=V`` — atomic (fleet-wide) epoch bump
+``/healthz``       GET     liveness, active version, epoch agreement
 ``/metrics``       GET     Prometheus text exposition
 =================  ======  ===================================================
 
-Graceful degradation is a design rule, not an accident:
+What stays transport-level here:
 
-* **bounded in-flight work** — a non-blocking semaphore admits at most
-  ``max_inflight`` concurrent requests; excess load is shed instantly
-  with a 503 (and counted) instead of queueing into collapse.
-  ``/healthz`` and ``/metrics`` bypass the gate so the service stays
-  observable *while* overloaded.
-* **malformed input** — hostnames are vetted by
-  :func:`repro.net.hostname.normalize_or_reject`; rejection is a
-  structured 400 carrying the machine-readable reason, never a stack
-  trace.
-* **unknown versions** — 404 with the offending spec.
 * **slow clients** — every accepted connection carries a per-socket
   timeout (``request_timeout``), so a slowloris-style peer that stalls
   mid-request is disconnected instead of pinning a handler thread
   forever.
+* **connection hygiene on errors** — any errored request may have an
+  unread body, so every ``>= 400`` response carries
+  ``Connection: close`` (one place, :meth:`_Handler._send`).
 * **shutdown** — :meth:`PslServer.drain` is the graceful path: flip
   ``/healthz`` to ``draining`` (503), stop the update watcher, stop
   accepting connections, let in-flight requests finish under a bounded
   deadline, then close.  :func:`serve_forever` wires SIGTERM/SIGINT to
   it.
-* **anything else** — a 500 with an opaque body; the handler never
-  lets an exception reach the socket layer, so one poisoned request
-  cannot take a worker thread down.
+* **fleet sockets** — ``reuse_port=True`` binds with ``SO_REUSEPORT``
+  so N worker processes share one port (the kernel load-balances
+  accepts); ``listen_socket=`` adopts an already-listening inherited
+  socket instead (the pre-fork parent-fd fallback where ``REUSEPORT``
+  is unavailable).  See :mod:`repro.serve.fleet`.
 """
 
 from __future__ import annotations
 
-import json
 import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
-from urllib.parse import parse_qs, urlsplit
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (update -> serve)
     from repro.update.watcher import Watcher
 
-from repro.net.errors import HostnameError
+from repro.serve.core import (
+    DEFAULT_MAX_INFLIGHT,
+    MAX_BATCH_HOSTNAMES,
+    MAX_BODY_BYTES,
+    Request,
+    RequestCore,
+)
 from repro.serve.engine import QueryEngine
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.snapshots import SnapshotRegistry, UnknownVersionError
+from repro.serve.snapshots import SnapshotRegistry
 
-DEFAULT_MAX_INFLIGHT = 64
+__all__ = [
+    "DEFAULT_DRAIN_DEADLINE",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "MAX_BATCH_HOSTNAMES",
+    "MAX_BODY_BYTES",
+    "PslServer",
+    "serve_forever",
+]
+
 #: Per-connection socket timeout (seconds): how long a peer may stall
 #: between bytes before the handler thread abandons the connection.
 DEFAULT_REQUEST_TIMEOUT = 30.0
 #: How long :meth:`PslServer.drain` waits for in-flight requests.
 DEFAULT_DRAIN_DEADLINE = 10.0
-#: Request-body ceiling (bytes): a batch of ~100k hostnames fits; a
-#: memory-exhaustion payload does not.
-MAX_BODY_BYTES = 8 * 1024 * 1024
-#: Per-request batch size ceiling; larger workloads should page.
-MAX_BATCH_HOSTNAMES = 100_000
-
-
-class _Reject(Exception):
-    """Internal control flow: abort the request with (status, error body)."""
-
-    def __init__(self, status: int, kind: str, detail: dict | None = None) -> None:
-        self.status = status
-        self.body = {"error": {"kind": kind, **(detail or {})}}
-        super().__init__(kind)
 
 
 class PslServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one registry + engine."""
+    """A threading HTTP adapter bound to one :class:`RequestCore`."""
 
     daemon_threads = True
 
@@ -97,188 +94,84 @@ class PslServer(ThreadingHTTPServer):
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
         quiet: bool = True,
+        core: RequestCore | None = None,
+        reuse_port: bool = False,
+        listen_socket: socket.socket | None = None,
     ) -> None:
-        super().__init__(address, _Handler)
-        if max_inflight < 1:
-            raise ValueError("max_inflight must be positive")
         if request_timeout is not None and request_timeout <= 0:
             raise ValueError("request_timeout must be positive when set")
-        self.registry = registry
-        self.engine = engine if engine is not None else QueryEngine(registry)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.gate = threading.Semaphore(max_inflight)
-        self.max_inflight = max_inflight
+        # ``server_bind`` runs inside ``super().__init__`` — the flag
+        # must exist before the socket binds.
+        self._reuse_port = reuse_port
+        if core is None:
+            core = RequestCore(
+                registry,
+                engine=engine,
+                metrics=metrics,
+                max_inflight=max_inflight,
+            )
+        self.core = core
+        super().__init__(address, _Handler, bind_and_activate=listen_socket is None)
+        if listen_socket is not None:
+            # Pre-fork parent-fd mode: adopt the already-listening
+            # socket the supervisor bound before forking; every worker
+            # accepts on the same fd and the kernel distributes.
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+        self.registry = core.registry
         self.request_timeout = request_timeout
         self.quiet = quiet
-        self.started_at = time.time()
-        self.watcher: "Watcher | None" = None
-        self._inflight = 0
-        self._inflight_lock = threading.Lock()
-        self._draining = False
         self._drained = False
         self._drain_ok = True
-        self._install_metrics()
 
-    # -- metrics wiring ------------------------------------------------------
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover - platform
+                raise OSError("SO_REUSEPORT is not available on this platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
-    def _install_metrics(self) -> None:
-        metrics = self.metrics
-        self.requests_total = metrics.counter(
-            "psl_serve_requests_total",
-            "Requests handled, by endpoint and status code.",
-            ("endpoint", "status"),
-        )
-        self.rejected_total = metrics.counter(
-            "psl_serve_rejected_total",
-            "Requests shed by admission control (503, never processed).",
-        )
-        self.latency = metrics.histogram(
-            "psl_serve_request_seconds",
-            "Request wall time in seconds, by endpoint.",
-            ("endpoint",),
-        )
-        self.lookups_total = metrics.counter(
-            "psl_serve_hostname_lookups_total",
-            "Individual hostname lookups performed (batch items count each).",
-        )
-        engine, registry = self.engine, self.registry
-        metrics.callback_gauge(
-            "psl_serve_cache_hits_total",
-            "Suffix-match cache hits across every shard.",
-            lambda: engine.stats().hits,
-        )
-        metrics.callback_gauge(
-            "psl_serve_cache_misses_total",
-            "Suffix-match cache misses across every shard.",
-            lambda: engine.stats().misses,
-        )
-        metrics.callback_gauge(
-            "psl_serve_cache_hit_ratio",
-            "Cache hits / (hits + misses) since start.",
-            lambda: engine.stats().hit_rate,
-        )
-        metrics.callback_gauge(
-            "psl_serve_cache_entries",
-            "Live suffix-match cache entries across every shard.",
-            lambda: engine.stats().entries,
-        )
-        metrics.callback_gauge(
-            "psl_serve_snapshot_index",
-            "History index of the active snapshot.",
-            lambda: registry.active.index,
-        )
-        metrics.callback_gauge(
-            "psl_serve_snapshot_age_days",
-            "Age of the active snapshot's list version in days (staleness).",
-            lambda: registry.active.age_days(),
-        )
-        metrics.callback_gauge(
-            "psl_serve_snapshot_rules",
-            "Rule count of the active snapshot.",
-            lambda: registry.active.rule_count,
-        )
-        metrics.callback_gauge(
-            "psl_serve_snapshot_swaps_total",
-            "Completed hot-swaps since start.",
-            lambda: registry.generation,
-        )
-        metrics.callback_gauge(
-            "psl_serve_resident_snapshots",
-            "Snapshots currently materialized (active + compare residents).",
-            lambda: len(registry.resident_indexes()),
-        )
-        metrics.callback_gauge(
-            "psl_serve_inflight_requests",
-            "Requests currently being processed.",
-            lambda: self.inflight,
-        )
-        metrics.callback_gauge(
-            "psl_serve_resident_packed_bytes",
-            "Bytes of packed snapshot buffer resident (shared sections counted once).",
-            lambda: registry.memory_accounting().packed_bytes,
-        )
-        metrics.callback_gauge(
-            "psl_serve_resident_dict_bytes",
-            "Measured heap bytes of resident dict-trie snapshots.",
-            lambda: registry.memory_accounting().dict_bytes,
-        )
-        metrics.callback_gauge(
-            "psl_serve_resident_dict_bytes_estimate",
-            "What every resident version would cost as a dict trie (the packed-vs-dict baseline).",
-            lambda: registry.memory_accounting().dict_bytes_estimate,
-        )
-        metrics.multi_callback_gauge(
-            "psl_serve_snapshot_packed_mmap_shared",
-            "Per resident version: 1 when served from an OS-shared packed mmap, 0 otherwise.",
-            ("version",),
-            lambda: {
-                str(row["index"]): 1.0 if row["packed_mmap_shared"] else 0.0
-                for row in registry.memory_accounting().versions
-            },
-        )
+    # -- the core's surface, re-exposed for callers and tests ----------------
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.core.engine
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.core.metrics
+
+    @property
+    def gate(self) -> threading.Semaphore:
+        return self.core.gate
+
+    @property
+    def max_inflight(self) -> int:
+        return self.core.max_inflight
+
+    @property
+    def started_at(self) -> float:
+        return self.core.started_at
+
+    @property
+    def watcher(self) -> "Watcher | None":
+        return self.core.watcher
+
+    @property
+    def inflight(self) -> int:
+        return self.core.inflight
 
     def attach_watcher(self, watcher: "Watcher") -> None:
-        """Bind an update watcher: SLO gauges + the ``/healthz`` block.
-
-        The staleness SLO surface (ISSUE: age of active version,
-        versions behind upstream, consecutive failed polls, health
-        state) becomes scrapeable the moment a watcher is attached;
-        :meth:`drain` then also owns stopping the watcher thread.
-        """
-        if self.watcher is not None:
-            raise ValueError("a watcher is already attached")
-        self.watcher = watcher
-        metrics = self.metrics
-        metrics.callback_gauge(
-            "psl_serve_update_active_age_days",
-            "Age in days of the active snapshot's list version (the staleness SLO).",
-            lambda: watcher.status().active_age_days,
-        )
-        metrics.callback_gauge(
-            "psl_serve_update_versions_behind",
-            "Published upstream versions not yet ingested.",
-            lambda: watcher.status().versions_behind,
-        )
-        metrics.callback_gauge(
-            "psl_serve_update_failed_polls",
-            "Consecutive upstream polls that failed (resets on success).",
-            lambda: watcher.status().consecutive_failed_polls,
-        )
-        metrics.callback_gauge(
-            "psl_serve_update_polls_total",
-            "Upstream polls attempted since start.",
-            lambda: watcher.status().polls,
-        )
-        metrics.callback_gauge(
-            "psl_serve_update_accepted_total",
-            "Versions ingested through the incremental patch path.",
-            lambda: watcher.status().accepted,
-        )
-        metrics.callback_gauge(
-            "psl_serve_update_resynced_total",
-            "Versions ingested through the full-snapshot resync path.",
-            lambda: watcher.status().resynced,
-        )
-        metrics.callback_gauge(
-            "psl_serve_update_quarantined_total",
-            "Upstream versions permanently skipped after failing validation.",
-            lambda: watcher.status().quarantined,
-        )
-        from repro.update.slo import HEALTH_STATES  # local: avoid import cycle
-
-        metrics.state_gauge(
-            "psl_serve_update_health",
-            "Update-loop health (one-hot): fresh, stale, or degraded.",
-            HEALTH_STATES,
-            lambda: watcher.status().state.value,
-        )
+        """Bind an update watcher (SLO gauges + ``/healthz`` block)."""
+        self.core.attach_watcher(watcher)
 
     # -- lifecycle -----------------------------------------------------------
 
     @property
     def draining(self) -> bool:
         """True once :meth:`drain` has begun; ``/healthz`` reports it."""
-        return self._draining
+        return self.core.draining
 
     def drain(self, *, deadline: float = DEFAULT_DRAIN_DEADLINE) -> bool:
         """Shut down gracefully; returns True when fully drained.
@@ -297,15 +190,15 @@ class PslServer(ThreadingHTTPServer):
         """
         if self._drained:
             return self._drain_ok
-        self._draining = True
-        watcher = self.watcher
+        self.core.draining = True
+        watcher = self.core.watcher
         if watcher is not None:
             watcher.request_stop()  # non-blocking; join after the drain wait
         self.shutdown()  # stop the accept loop (serve_forever returns)
         limit = time.monotonic() + max(0.0, deadline)
-        while self.inflight and time.monotonic() < limit:
+        while self.core.inflight and time.monotonic() < limit:
             time.sleep(0.01)
-        drained = self.inflight == 0
+        drained = self.core.inflight == 0
         if watcher is not None:
             remaining = max(0.5, limit - time.monotonic())
             drained = watcher.stop(timeout=remaining) and drained
@@ -315,23 +208,6 @@ class PslServer(ThreadingHTTPServer):
         return drained
 
     @property
-    def inflight(self) -> int:
-        with self._inflight_lock:
-            return self._inflight
-
-    def _enter(self) -> bool:
-        if not self.gate.acquire(blocking=False):
-            return False
-        with self._inflight_lock:
-            self._inflight += 1
-        return True
-
-    def _leave(self) -> None:
-        with self._inflight_lock:
-            self._inflight -= 1
-        self.gate.release()
-
-    @property
     def url(self) -> str:
         """Base URL of the bound socket (useful with an ephemeral port)."""
         host, port = self.server_address[:2]
@@ -339,12 +215,17 @@ class PslServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes requests; every reply is JSON except ``/metrics``."""
+    """Parses HTTP, delegates to the core, writes the response."""
 
     protocol_version = "HTTP/1.1"
+    # TCP_NODELAY: the handler emits the status line and each header as
+    # its own small write; with Nagle on, those segments wait for the
+    # peer's delayed ACK (~40ms) before the body flushes — a keep-alive
+    # client then sees every response cost ~44ms regardless of the
+    # lookup's actual microseconds.  An answer-sized service disables
+    # Nagle and pays a few extra small packets instead.
+    disable_nagle_algorithm = True
     server: PslServer  # narrowed for the attribute accesses below
-
-    # -- plumbing ------------------------------------------------------------
 
     def setup(self) -> None:
         # Per-connection socket timeout: StreamRequestHandler applies
@@ -375,203 +256,26 @@ class _Handler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # client went away mid-reply; nothing to salvage
 
-    def _send_json(self, status: int, body: dict) -> None:
-        self._send(status, json.dumps(body).encode("utf-8"), "application/json")
-
-    def _query(self) -> dict[str, str]:
-        raw = parse_qs(urlsplit(self.path).query)
-        return {key: values[-1] for key, values in raw.items()}
-
-    def _endpoint(self) -> str:
-        return urlsplit(self.path).path.rstrip("/") or "/"
-
-    def _required(self, query: dict[str, str], name: str) -> str:
-        value = query.get(name)
-        if not value:
-            raise _Reject(400, "missing_parameter", {"parameter": name})
-        return value
-
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length > MAX_BODY_BYTES:
-            raise _Reject(413, "body_too_large", {"limit_bytes": MAX_BODY_BYTES})
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
-            raise _Reject(400, "empty_body")
+    def _dispatch(self, method: str) -> None:
         try:
-            body = json.loads(raw)
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _Reject(400, "malformed_json", {"detail": str(exc)}) from exc
-        if not isinstance(body, dict):
-            raise _Reject(400, "malformed_json", {"detail": "body must be an object"})
-        return body
-
-    # -- dispatch ------------------------------------------------------------
-
-    _GET_ROUTES = {
-        "/site": "_get_site",
-        "/classify": "_get_classify",
-        "/compare": "_get_compare",
-        "/versions": "_get_versions",
-        "/healthz": "_get_healthz",
-        "/metrics": "_get_metrics",
-    }
-    _POST_ROUTES = {
-        "/batch": "_post_batch",
-        "/swap": "_post_swap",
-    }
-    #: Observability endpoints stay reachable under load shedding.
-    _UNGATED = frozenset({"/healthz", "/metrics"})
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        response = self.server.core.handle(
+            Request(
+                method=method,
+                target=self.path,
+                content_length=length,
+                read=self.rfile.read,
+            )
+        )
+        self._send(response.status, response.encoded(), response.content_type)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
-        self._handle(self._GET_ROUTES)
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
-        self._handle(self._POST_ROUTES)
-
-    def _handle(self, routes: dict[str, str]) -> None:
-        server = self.server
-        endpoint = self._endpoint()
-        method = routes.get(endpoint)
-        if method is None:
-            known = endpoint in self._GET_ROUTES or endpoint in self._POST_ROUTES
-            status = 405 if known else 404
-            kind = "method_not_allowed" if known else "not_found"
-            self._send_json(status, {"error": {"kind": kind, "path": endpoint}})
-            server.requests_total.inc(endpoint=endpoint if known else "<unknown>", status=str(status))
-            return
-
-        gated = endpoint not in self._UNGATED
-        if gated and not server._enter():
-            server.rejected_total.inc()
-            server.requests_total.inc(endpoint=endpoint, status="503")
-            self._send_json(
-                503,
-                {"error": {"kind": "overloaded", "max_inflight": server.max_inflight}},
-            )
-            return
-
-        # Compute first, record metrics second, write the response
-        # LAST: the moment a client can observe its reply, the
-        # counters already reflect it — so a scrape issued right after
-        # the final request of a load can never undercount.
-        started = time.perf_counter()
-        try:
-            try:
-                status, payload = getattr(self, method)()
-            except _Reject as rejection:
-                status, payload = rejection.status, rejection.body
-            except HostnameError as exc:
-                status = 400
-                payload = {
-                    "error": {
-                        "kind": "invalid_hostname",
-                        "value": exc.value,
-                        "reason": exc.reason,
-                    }
-                }
-            except UnknownVersionError as exc:
-                status = 404
-                payload = {
-                    "error": {
-                        "kind": "unknown_version",
-                        "value": str(exc.spec),
-                        "reason": exc.reason,
-                    }
-                }
-            except Exception:  # the never-crash contract
-                status, payload = 500, {"error": {"kind": "internal"}}
-        finally:
-            if gated:
-                server._leave()
-        server.requests_total.inc(endpoint=endpoint, status=str(status))
-        server.latency.observe(time.perf_counter() - started, endpoint=endpoint)
-        if isinstance(payload, bytes):
-            self._send(status, payload, "text/plain; version=0.0.4")
-        else:
-            self._send_json(status, payload)
-
-    # -- endpoints (each returns (status, payload); bytes = plain text) ------
-
-    def _get_site(self) -> tuple[int, dict]:
-        query = self._query()
-        host = self._required(query, "host")
-        answer = self.server.engine.site(host, version=query.get("version"))
-        self.server.lookups_total.inc()
-        return 200, answer.to_json()
-
-    def _get_classify(self) -> tuple[int, dict]:
-        query = self._query()
-        page = self._required(query, "page")
-        request = self._required(query, "request")
-        answer = self.server.engine.classify(page, request, version=query.get("version"))
-        self.server.lookups_total.inc(2)
-        return 200, answer.to_json()
-
-    def _get_compare(self) -> tuple[int, dict]:
-        query = self._query()
-        host = self._required(query, "host")
-        old = self._required(query, "old")
-        answer = self.server.engine.compare(host, old, query.get("new"))
-        self.server.lookups_total.inc(2)
-        return 200, answer.to_json()
-
-    def _get_versions(self) -> tuple[int, dict]:
-        query = self._query()
-        limit: int | None = None
-        if "limit" in query:
-            try:
-                limit = int(query["limit"])
-            except ValueError:
-                raise _Reject(400, "malformed_parameter", {"parameter": "limit"}) from None
-        return 200, self.server.registry.describe(limit=limit)
-
-    def _get_healthz(self) -> tuple[int, dict]:
-        server = self.server
-        registry = server.registry
-        draining = server.draining
-        body = {
-            "status": "draining" if draining else "ok",
-            "active": registry.active.describe(),
-            "generation": registry.generation,
-            "uptime_seconds": round(time.time() - server.started_at, 3),
-            "inflight": server.inflight,
-        }
-        if server.watcher is not None:
-            body["update"] = server.watcher.status().to_json()
-        # 503 while draining so load balancers eject the instance; the
-        # body still carries full state for operators mid-drain.
-        return (503 if draining else 200), body
-
-    def _get_metrics(self) -> tuple[int, bytes]:
-        return 200, self.server.metrics.render().encode("utf-8")
-
-    def _post_batch(self) -> tuple[int, dict]:
-        body = self._read_body()
-        hostnames = body.get("hostnames")
-        if not isinstance(hostnames, list) or not all(
-            isinstance(h, str) for h in hostnames
-        ):
-            raise _Reject(400, "malformed_batch", {"detail": "'hostnames' must be a list of strings"})
-        if len(hostnames) > MAX_BATCH_HOSTNAMES:
-            raise _Reject(413, "batch_too_large", {"limit": MAX_BATCH_HOSTNAMES})
-        answer = self.server.engine.batch(hostnames, version=body.get("version"))
-        self.server.lookups_total.inc(len(hostnames))
-        return 200, answer.to_json()
-
-    def _post_swap(self) -> tuple[int, dict]:
-        query = self._query()
-        spec = query.get("version")
-        if spec is None:
-            body = self._read_body()
-            spec = body.get("version")
-        if spec is None:
-            raise _Reject(400, "missing_parameter", {"parameter": "version"})
-        snapshot = self.server.registry.activate(spec)
-        return 200, {
-            "active": snapshot.describe(),
-            "generation": self.server.registry.generation,
-        }
+        self._dispatch("POST")
 
 
 def serve_forever(
@@ -579,6 +283,7 @@ def serve_forever(
     *,
     handle_signals: bool = True,
     drain_deadline: float = DEFAULT_DRAIN_DEADLINE,
+    stop_event: threading.Event | None = None,
 ) -> bool:
     """Run until SIGTERM/SIGINT, then drain gracefully.
 
@@ -590,6 +295,10 @@ def serve_forever(
 
     ``handle_signals=False`` restores the plain blocking behaviour for
     callers that manage the lifecycle themselves (tests, embedding).
+    ``stop_event`` lets a caller that installed its own early signal
+    handler (a forked fleet worker, covering the window before this
+    function replaces it) share the event — a signal delivered at any
+    point between the caller's handler install and here is not lost.
     """
     if not handle_signals:
         try:
@@ -598,7 +307,7 @@ def serve_forever(
             server.server_close()
         return True
 
-    stop = threading.Event()
+    stop = stop_event if stop_event is not None else threading.Event()
 
     def request_stop(signum: int, frame: Any) -> None:  # pragma: no cover - signal path
         stop.set()

@@ -233,16 +233,30 @@ class CallbackGauge(_Metric):
     def __init__(self, name: str, help_text: str, callback: Callable[[], float]) -> None:
         super().__init__(name, help_text, ())
         self._callback = callback
+        self._last_good: float | None = None
 
     def value(self) -> float:
         return float(self._callback())
 
     def render(self) -> list[str]:
+        """Sample the callback; on failure, serve the last good value.
+
+        A raising callback must never break the scrape: the gauge
+        degrades to its most recent successful sample (stale beats
+        absent for dashboards mid-incident), or is omitted entirely if
+        it has never succeeded.  The rest of the exposition is
+        unaffected either way.
+        """
         lines = self._header()
         try:
             value = self.value()
-        except Exception:  # a broken callback must never break the scrape
-            return lines
+            with self._lock:
+                self._last_good = value
+        except Exception:
+            with self._lock:
+                value = self._last_good  # type: ignore[assignment]
+            if value is None:
+                return lines
         lines.append(f"{self.name} {_format_value(value)}")
         return lines
 
@@ -269,6 +283,7 @@ class MultiCallbackGauge(_Metric):
             raise ValueError("MultiCallbackGauge requires label names")
         super().__init__(name, help_text, labelnames)
         self._callback = callback
+        self._last_good: dict[tuple[str, ...], float] | None = None
 
     def samples(self) -> dict[tuple[str, ...], float]:
         raw = self._callback()
@@ -286,11 +301,23 @@ class MultiCallbackGauge(_Metric):
         return samples
 
     def render(self) -> list[str]:
+        """Sample the callback; on failure, serve the last good samples.
+
+        Same contract as :meth:`CallbackGauge.render` — stale beats
+        absent, absent beats a 500 — applied to the whole label family
+        at once (the callback produces one coherent population, so the
+        fallback does too).
+        """
         lines = self._header()
         try:
             samples = self.samples()
-        except Exception:  # a broken callback must never break the scrape
-            return lines
+            with self._lock:
+                self._last_good = dict(samples)
+        except Exception:
+            with self._lock:
+                samples = self._last_good  # type: ignore[assignment]
+            if samples is None:
+                return lines
         for key in sorted(samples):
             labels = dict(zip(self.labelnames, key))
             lines.append(
@@ -374,10 +401,20 @@ class MetricsRegistry:
             return self._metrics.get(name)
 
     def render(self) -> str:
-        """The full text exposition (trailing newline included)."""
+        """The full text exposition (trailing newline included).
+
+        Defense in depth around the scrape: the callback gauges already
+        degrade to stale-or-omitted on their own, but any metric whose
+        ``render`` itself blows up is skipped rather than taking
+        ``/metrics`` — the one endpoint operators need *during* an
+        incident — down with it.
+        """
         with self._lock:
             metrics = sorted(self._metrics.values(), key=lambda m: m.name)
         lines: list[str] = []
         for metric in metrics:
-            lines.extend(metric.render())
+            try:
+                lines.extend(metric.render())
+            except Exception:
+                continue
         return "\n".join(lines) + "\n"

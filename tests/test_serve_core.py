@@ -1,0 +1,225 @@
+"""Direct tests for the transport-agnostic request core.
+
+No sockets anywhere: a :class:`~repro.serve.core.Request` goes in, a
+:class:`~repro.serve.core.Response` comes out.  This is the layer the
+threaded server and every fleet worker share, so the routing, error
+shape, admission, and epoch contracts are pinned here once.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.core import (
+    MAX_BATCH_HOSTNAMES,
+    MAX_BODY_BYTES,
+    Request,
+    RequestCore,
+    Response,
+    error_body,
+)
+from repro.serve.engine import QueryEngine
+from repro.serve.snapshots import SnapshotRegistry
+
+from tests.test_serve_snapshots import make_store
+
+
+def make_core(**kwargs) -> RequestCore:
+    registry = SnapshotRegistry(make_store())
+    engine = QueryEngine(registry, cache_capacity=1024, shards=2)
+    return RequestCore(registry, engine=engine, **kwargs)
+
+
+def get(core: RequestCore, target: str) -> Response:
+    return core.handle(Request(method="GET", target=target))
+
+
+def post(core: RequestCore, target: str, body: bytes = b"") -> Response:
+    return core.handle(
+        Request(
+            method="POST",
+            target=target,
+            content_length=len(body),
+            read=lambda n, data=body: data[:n],
+        )
+    )
+
+
+class TestRouting:
+    def test_site_roundtrip(self):
+        core = make_core()
+        response = get(core, "/site?host=www.example.co.uk")
+        assert response.status == 200
+        assert response.payload["site"] == "example.co.uk"
+
+    def test_trailing_slash_is_same_endpoint(self):
+        core = make_core()
+        assert get(core, "/site/?host=a.example.com").status == 200
+
+    def test_unknown_path_is_structured_404(self):
+        core = make_core()
+        response = get(core, "/nope")
+        assert response.status == 404
+        assert response.payload == error_body("not_found", path="/nope")
+
+    def test_wrong_method_is_405_with_allowed_list(self):
+        core = make_core()
+        response = post(core, "/site?host=a.com")
+        assert response.status == 405
+        assert response.payload["error"]["kind"] == "method_not_allowed"
+        assert response.payload["error"]["allowed"] == ["GET"]
+        response = get(core, "/swap?version=0")
+        assert response.status == 405
+        assert response.payload["error"]["allowed"] == ["POST"]
+
+    def test_error_shape_is_identical_across_statuses(self):
+        """Satellite contract: 400/404/405/413 all carry one JSON shape."""
+        core = make_core()
+        samples = [
+            get(core, "/site"),                        # 400 missing param
+            get(core, "/site?host=a.com&version=99"),  # 404 unknown version
+            get(core, "/missing"),                     # 404 unknown path
+            post(core, "/site?host=a.com"),            # 405
+            post(core, "/batch", b'{"hostnames": []}'),
+        ]
+        oversized = core.handle(
+            Request(method="POST", target="/batch", content_length=MAX_BODY_BYTES + 1)
+        )
+        samples.append(oversized)
+        for response in samples:
+            if response.status >= 400:
+                assert set(response.payload) == {"error"}
+                assert "kind" in response.payload["error"]
+        assert oversized.status == 413
+        assert oversized.payload["error"]["kind"] == "body_too_large"
+
+    def test_batch_too_large_is_413(self):
+        core = make_core()
+        body = json.dumps({"hostnames": ["h"] * (MAX_BATCH_HOSTNAMES + 1)}).encode()
+        response = post(core, "/batch", body)
+        assert response.status == 413
+        assert response.payload["error"]["kind"] == "batch_too_large"
+
+    def test_internal_errors_become_500_not_exceptions(self):
+        core = make_core()
+        core.engine.site = lambda *a, **k: 1 / 0  # type: ignore[assignment]
+        response = get(core, "/site?host=a.com")
+        assert response.status == 500
+        assert response.payload == error_body("internal")
+
+
+class TestAdmission:
+    def test_gate_sheds_503_and_counts(self):
+        core = make_core(max_inflight=1)
+        assert core.gate.acquire(blocking=False)  # occupy the only slot
+        try:
+            response = get(core, "/site?host=a.com")
+        finally:
+            core.gate.release()
+        assert response.status == 503
+        assert response.payload["error"]["kind"] == "overloaded"
+        assert core.rejected_total.total() == 1
+
+    def test_healthz_and_metrics_bypass_the_gate(self):
+        core = make_core(max_inflight=1)
+        assert core.gate.acquire(blocking=False)
+        try:
+            assert get(core, "/healthz").status == 200
+            assert get(core, "/metrics").status == 200
+        finally:
+            core.gate.release()
+
+    def test_metrics_recorded_before_response_returns(self):
+        core = make_core()
+        get(core, "/site?host=a.example.com")
+        assert core.requests_total.value(endpoint="/site", status="200") == 1
+        assert core.lookups_total.total() == 1
+
+
+class TestEpochs:
+    def test_swap_reports_epoch(self):
+        core = make_core()
+        response = post(core, "/swap?version=0", b"{}")
+        assert response.status == 200
+        assert response.payload["active"]["index"] == 0
+        assert response.payload["epoch"] == 1  # one swap = generation 1
+
+    def test_healthz_reports_epoch_and_worker(self):
+        core = make_core(worker_id=3)
+        post(core, "/swap?version=0", b"{}")
+        body = get(core, "/healthz").payload
+        assert body["epoch"] == 1
+        assert body["worker"] == 3
+
+    def test_fleet_view_failure_never_breaks_healthz(self):
+        def exploding_view() -> dict:
+            raise RuntimeError("torn heartbeat")
+
+        core = make_core(fleet_view=exploding_view)
+        response = get(core, "/healthz")
+        assert response.status == 200
+        assert "torn heartbeat" in response.payload["fleet"]["error"]
+
+    def test_draining_healthz_is_503_with_state(self):
+        core = make_core()
+        core.draining = True
+        response = get(core, "/healthz")
+        assert response.status == 503
+        assert response.payload["status"] == "draining"
+
+
+class TestResponses:
+    def test_metrics_payload_is_bytes_exposition(self):
+        core = make_core()
+        response = get(core, "/metrics")
+        assert isinstance(response.payload, bytes)
+        assert response.content_type.startswith("text/plain")
+        assert b"psl_serve_requests_total" in response.encoded()
+
+    def test_json_payload_encodes(self):
+        response = Response(200, {"a": 1})
+        assert json.loads(response.encoded()) == {"a": 1}
+
+    def test_unsupported_method_on_known_path_is_405(self):
+        core = make_core()
+        response = core.handle(Request(method="PUT", target="/site?host=a.com"))
+        assert response.status == 405
+        assert response.payload["error"]["allowed"] == ["GET"]
+
+
+class TestValidation:
+    def test_missing_parameter(self):
+        core = make_core()
+        response = get(core, "/site")
+        assert response.status == 400
+        assert response.payload["error"]["parameter"] == "host"
+
+    def test_malformed_limit(self):
+        core = make_core()
+        response = get(core, "/versions?limit=many")
+        assert response.status == 400
+        assert response.payload["error"]["kind"] == "malformed_parameter"
+
+    def test_empty_post_body(self):
+        core = make_core()
+        response = post(core, "/batch")
+        assert response.status == 400
+        assert response.payload["error"]["kind"] == "empty_body"
+
+    def test_swap_spec_from_body(self):
+        core = make_core()
+        response = post(core, "/swap", json.dumps({"version": 0}).encode())
+        assert response.status == 200
+        assert response.payload["active"]["index"] == 0
+
+    def test_swap_without_spec(self):
+        core = make_core()
+        response = post(core, "/swap", b"{}")
+        assert response.status == 400
+        assert response.payload["error"]["parameter"] == "version"
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
