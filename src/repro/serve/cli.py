@@ -436,6 +436,7 @@ def _smoke_main(args: argparse.Namespace) -> int:
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     print(f"serving on {server.url} (version v{server.registry.active.index})")
+    failures: list[str] = []
     try:
         failures = run_smoke(server.url)
     finally:

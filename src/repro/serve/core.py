@@ -442,6 +442,11 @@ class RequestCore:
     @staticmethod
     def _read_body(request: Request) -> dict:
         length = request.content_length
+        # A negative length must never reach request.read(): rfile.read(-1)
+        # means read-until-EOF, which buffers whatever a keep-alive client
+        # streams and bypasses the MAX_BODY_BYTES ceiling entirely.
+        if length < 0:
+            raise Reject(400, "invalid_content_length", {"value": length})
         if length > MAX_BODY_BYTES:
             raise Reject(413, "body_too_large", {"limit_bytes": MAX_BODY_BYTES})
         raw = request.read(length) if length else b""

@@ -54,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from repro.history.store import VersionStore
 from repro.psl.diff import RuleDelta
 from repro.psl.packed import PackedHistory
-from repro.serve.core import DEFAULT_MAX_INFLIGHT, RequestCore
+from repro.serve.core import DEFAULT_MAX_INFLIGHT, Reject, RequestCore
 from repro.serve.engine import DEFAULT_CACHE_CAPACITY, DEFAULT_SHARDS, QueryEngine
 from repro.serve.http import PslServer, serve_forever
 from repro.serve.metrics import MetricsRegistry
@@ -111,6 +111,12 @@ class EpochBus:
         self._epoch_path = os.path.join(root, "EPOCH")
         self._events_path = os.path.join(root, "events.jsonl")
         self._lock_path = os.path.join(root, "LOCK")
+        # Read cursor: byte offset just past the last journal line this
+        # process has fully consumed, and the epoch of that line.  Keeps
+        # the steady-state poll O(new events) instead of O(journal).
+        self._cursor_lock = threading.Lock()
+        self._cursor_epoch = 0
+        self._cursor_pos = 0
         if not os.path.exists(self._epoch_path):
             self._write_epoch(0)
 
@@ -197,24 +203,44 @@ class EpochBus:
         """Every published event with epoch strictly greater than ``epoch``.
 
         Reads up to the *currently published* epoch only, so a publish
-        racing this read can never surface a half-written line.
+        racing this read can never surface a half-written line.  The
+        journal is append-only and epoch-ordered (publishes serialize on
+        the flock), so this process remembers the byte offset of the last
+        line it consumed and resumes there — each poll pays for the new
+        events, not the whole journal.  A caller asking about an epoch
+        older than the cursor (e.g. a fresh registry replaying from zero)
+        falls back to a full scan.
         """
         published = self.current_epoch()
         if published <= epoch:
             return []
+        with self._cursor_lock:
+            start_epoch, start_pos = self._cursor_epoch, self._cursor_pos
+        if epoch < start_epoch:
+            start_epoch, start_pos = 0, 0  # caller is behind the cursor
         events: list[dict] = []
+        seen_epoch, pos = start_epoch, start_pos
         try:
             with open(self._events_path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    event = json.loads(line)
-                    if epoch < event["epoch"] <= published:
-                        events.append(event)
+                handle.seek(start_pos)
+                while True:
+                    line = handle.readline()
+                    if not line or not line.endswith("\n"):
+                        break  # EOF, or a torn tail mid-append: stop before it
+                    stripped = line.strip()
+                    if stripped:
+                        event = json.loads(stripped)
+                        if event["epoch"] > published:
+                            break  # past the published fence; reread next poll
+                        if event["epoch"] > epoch:
+                            events.append(event)
+                        seen_epoch = event["epoch"]
+                    pos = handle.tell()
         except FileNotFoundError:
             return []
-        events.sort(key=lambda e: e["epoch"])
+        with self._cursor_lock:
+            if seen_epoch > self._cursor_epoch:
+                self._cursor_epoch, self._cursor_pos = seen_epoch, pos
         return events
 
     def read_blob(self, name: str) -> bytes:
@@ -356,10 +382,27 @@ class BusEpochs:
         The spec is resolved to a concrete index *before* publishing so
         every worker activates the same version even if ``"latest"``
         would resolve differently mid-ingest on some of them.
+
+        The swap is only reported as successful once this worker has
+        *applied* it: if an earlier pending event fails to apply (e.g. a
+        missing blob), :meth:`catch_up` stops before the swap and this
+        worker is still serving the old version — answering 200 with the
+        target version would be a lie, so the request fails instead and
+        the published swap is retried by the poll loop.
         """
         index = self._registry.resolve(spec)
         epoch = self._bus.publish_swap(index)
-        self.catch_up()
+        applied = self.catch_up()
+        if applied < epoch:
+            raise Reject(
+                503,
+                "swap_not_applied",
+                {
+                    "epoch": epoch,
+                    "applied": applied,
+                    "detail": self._last_error or "pending events not yet applied",
+                },
+            )
         return self._registry.resident(index), epoch
 
     def describe(self) -> dict:

@@ -258,7 +258,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         try:
-            length = int(self.headers.get("Content-Length") or 0)
+            # Clamp negatives: self.rfile.read(-1) would read until EOF,
+            # defeating the core's body-size ceiling.
+            length = max(0, int(self.headers.get("Content-Length") or 0))
         except ValueError:
             length = 0
         response = self.server.core.handle(

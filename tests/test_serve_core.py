@@ -102,6 +102,24 @@ class TestRouting:
         assert response.status == 413
         assert response.payload["error"]["kind"] == "batch_too_large"
 
+    def test_negative_content_length_is_rejected_before_read(self):
+        """``Content-Length: -1`` must never reach ``read()``: an
+        ``rfile.read(-1)`` means read-until-EOF, which buffers whatever
+        the client streams and bypasses the MAX_BODY_BYTES ceiling."""
+        core = make_core()
+        calls: list[int] = []
+
+        def read(n: int) -> bytes:
+            calls.append(n)
+            return b""
+
+        response = core.handle(
+            Request(method="POST", target="/batch", content_length=-1, read=read)
+        )
+        assert response.status == 400
+        assert response.payload["error"]["kind"] == "invalid_content_length"
+        assert calls == []
+
     def test_internal_errors_become_500_not_exceptions(self):
         core = make_core()
         core.engine.site = lambda *a, **k: 1 / 0  # type: ignore[assignment]

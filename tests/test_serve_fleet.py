@@ -104,6 +104,22 @@ class TestEpochBus:
         assert event["epoch"] == epoch and event["kind"] == "ingest"
         assert bus.read_blob(event["blob"]) == blob
 
+    def test_events_since_resumes_from_cursor(self, tmp_path):
+        """The read cursor makes polls O(new events); resumed, fresh,
+        and behind-the-cursor reads must all agree on the journal."""
+        bus = EpochBus(str(tmp_path / "bus"))
+        bus.publish_swap(1)
+        assert [e["epoch"] for e in bus.events_since(0)] == [1]
+        bus.publish_swap(0)
+        bus.publish_swap(2)
+        # The steady-state poll: resumes past the consumed prefix.
+        assert [e["epoch"] for e in bus.events_since(1)] == [2, 3]
+        # A fresh bus over the same root (a respawned worker) full-scans.
+        assert [e["epoch"] for e in EpochBus(bus.root).events_since(0)] == [1, 2, 3]
+        # Asking behind the cursor falls back to a full scan too.
+        assert [e["epoch"] for e in bus.events_since(0)] == [1, 2, 3]
+        assert bus.events_since(3) == []
+
     def test_reopening_preserves_epoch(self, tmp_path):
         root = str(tmp_path / "bus")
         EpochBus(root).publish_swap(0)
@@ -171,6 +187,32 @@ class TestBusEpochs:
         with pytest.raises(RuntimeError, match="gap"):
             apply_event(registry, bus, event)
         assert registry.active.index == 2  # untouched
+
+    def test_swap_blocked_by_failed_event_is_an_error_not_a_lie(self, tmp_path):
+        """If a pending event cannot apply locally, ``/swap`` must not
+        answer 200 with the target version: this worker is still
+        serving the old one.  The swap is still published for healthy
+        siblings; this worker reports 503 until its apply lands."""
+        from repro.serve.core import Reject
+
+        bus = EpochBus(str(tmp_path / "bus"))
+        bus.publish_ingest(
+            index=3,
+            date=datetime.date(2023, 1, 1),
+            patch="not a valid patch",  # apply will fail on this
+            message="",
+            fingerprint="f",
+            activate=True,
+            blob=None,
+        )
+        registry = SnapshotRegistry(make_store())
+        epochs = BusEpochs(registry, bus)
+        with pytest.raises(Reject) as excinfo:
+            epochs.swap(0)
+        assert excinfo.value.status == 503
+        assert excinfo.value.body["error"]["kind"] == "swap_not_applied"
+        assert registry.active.index == 2  # untouched: still last-good
+        assert bus.current_epoch() == 2  # the swap itself was published
 
     def test_failed_event_leaves_last_good_and_sets_error(self, tmp_path):
         bus = EpochBus(str(tmp_path / "bus"))

@@ -10,6 +10,7 @@ contracts.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -93,6 +94,34 @@ class TestEndpoints:
         sites = [answer.get("site") for answer in body["answers"]]
         assert sites[0] == "example.com" and sites[2] == "b.github.io"
         assert body["answers"][1]["error"]["kind"] == "invalid_hostname"
+
+    def test_batch_negative_content_length_answers_without_reading_to_eof(
+        self, server
+    ):
+        """Regression: ``Content-Length: -1`` used to reach
+        ``rfile.read(-1)`` — read-until-EOF — so a keep-alive client
+        could stream past the body ceiling.  The server must answer a
+        structured 400 immediately, while the connection is still open
+        and the client has sent no body at all."""
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /batch HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: -1\r\n"
+                b"\r\n"
+            )
+            sock.settimeout(10)  # a read-to-EOF server would hang here
+            # 4xx answers carry Connection: close, so EOF bounds the read.
+            chunks = []
+            while chunk := sock.recv(65536):
+                chunks.append(chunk)
+            raw = b"".join(chunks)
+        status_line, _, rest = raw.partition(b"\r\n")
+        assert b"400" in status_line
+        _, _, body = raw.partition(b"\r\n\r\n")
+        assert json.loads(body)["error"]["kind"] == "empty_body"
 
     def test_batch_malformed_body(self, server):
         status, body = fetch_json(server.url + "/batch", data=b"not json")
