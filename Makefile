@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: check test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve bench-serve-smoke bench-packed bench-update serve-smoke serve-smoke-fleet update-faults
+.PHONY: check test test-faults bench bench-sweep bench-runtime bench-pipeline bench-serve bench-serve-smoke bench-packed bench-update bench-classify bench-classify-smoke serve-smoke serve-smoke-fleet update-faults
 
-check: test serve-smoke serve-smoke-fleet bench-serve-smoke  ## the pre-merge gate: tier-1 + both serve smokes + fast serve bench
+check: test serve-smoke serve-smoke-fleet bench-serve-smoke bench-classify-smoke  ## the pre-merge gate: tier-1 + both serve smokes + fast serve/classify benches
 	@echo "check: all gates passed"
 
 test:  ## tier-1: the full fast suite
@@ -39,6 +39,12 @@ bench-packed:  ## the packed-snapshot gates (uncached match <= 5.87 µs, residen
 
 bench-update:  ## the update-loop gates (swap propagation < 250ms, SLO gauges exact vs journal)
 	$(PYTHON) -m pytest benchmarks/test_bench_perf_update.py -m bench -q -s
+
+bench-classify:  ## the bulk-classify gates (throughput >= 60k records/s, peak RSS <= 512 MiB, resume >= 3x)
+	$(PYTHON) -m pytest benchmarks/test_bench_perf_classify.py -m bench -q -s
+
+bench-classify-smoke:  ## the same classify gates on a seconds-long log (throughput/memory contracts only)
+	BENCH_CLASSIFY_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_bench_perf_classify.py -m bench -q
 
 serve-smoke:  ## start psl-serve on an ephemeral port, hit every endpoint, assert JSON shapes
 	$(PYTHON) -m repro.serve.cli --smoke

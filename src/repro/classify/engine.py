@@ -1,0 +1,407 @@
+"""The classify driver: fan-out, resilience, and the global merge.
+
+:class:`ClassifyEngine` turns a request-log source into per-version
+count tables by composing the platform layers:
+
+* chunk planning mirrors :mod:`repro.sweep.chunks` — fixed-size chunks
+  with stable task ids, every merge a commutative sum, so results are
+  bit-identical for any chunk size or worker count;
+* execution is :class:`repro.runtime.ResilientExecutor` — bounded
+  retries, ``BrokenProcessPool`` recovery, poisoned-chunk quarantine,
+  and chunk-granular checkpoint/resume keyed by a manifest fingerprint
+  covering the source, the selected versions' packed-trie
+  fingerprints, and the chunking (a resumed run can only reuse results
+  bit-identical to what it would compute itself);
+* the merge replays each chunk's delta-encoded spill against **one**
+  global site counter, version at a time, so driver memory is O(one
+  version's site universe) regardless of how many versions ran.
+
+Per-version outputs reuse the streaming dataclasses
+(:class:`~repro.webgraph.stream.StreamedSiteCounts`,
+:class:`~repro.webgraph.stream.StreamedThirdPartyCounts`) — the
+differential tests assert bit-equality against those serial oracles.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.classify.columnar import SpooledChunkRef, SyntheticChunkRef, spool_chunks
+from repro.classify.partials import (
+    ChunkPartial,
+    ClassifyTask,
+    SpillReader,
+    classify_chunk,
+    partial_validator,
+)
+from repro.psl.packed import PackedHistory
+from repro.runtime import (
+    CheckpointStore,
+    ExecutionReport,
+    FaultPlan,
+    ResilientExecutor,
+    RetryPolicy,
+    TaskFailure,
+)
+from repro.webgraph.requestlog import RequestLogConfig, block_count, record_count
+from repro.webgraph.stream import StreamedSiteCounts, StreamedThirdPartyCounts
+
+
+def select_version_indexes(total: int, requested: int) -> tuple[int, ...]:
+    """``requested`` evenly spaced raw indexes over ``[0, total)``.
+
+    Always includes the first and latest version; asking for more
+    versions than exist yields every version once.
+    """
+    if total < 1:
+        raise ValueError("history has no versions")
+    if requested < 1:
+        raise ValueError("requested version count must be positive")
+    requested = min(requested, total)
+    if requested == 1:
+        return (total - 1,)
+    step = (total - 1) / (requested - 1)
+    return tuple(sorted({round(i * step) for i in range(requested)}))
+
+
+@dataclass(frozen=True, slots=True)
+class VersionRow:
+    """One PSL version's row of the output tables."""
+
+    version_index: int
+    trie_fingerprint: str
+    sites: StreamedSiteCounts
+    third_party: StreamedThirdPartyCounts
+    misclassified_hostnames: int
+
+    @property
+    def misclassified_share(self) -> float:
+        """Share of hostname occurrences grouped differently than the
+        latest list groups them."""
+        if self.sites.hostnames == 0:
+            return 0.0
+        return self.misclassified_hostnames / self.sites.hostnames
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": self.version_index,
+            "trie_fingerprint": self.trie_fingerprint,
+            "hostnames": self.sites.hostnames,
+            "sites": self.sites.sites,
+            "largest_site": self.sites.largest_site,
+            "skipped_hosts": self.sites.skipped,
+            "third_party": self.third_party.third_party,
+            "total_pairs": self.third_party.total,
+            "skipped_pairs": self.third_party.skipped,
+            "misclassified_hostnames": self.misclassified_hostnames,
+            "misclassified_share": round(self.misclassified_share, 6),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifyFailureReport:
+    """What a degraded run lost: the quarantined chunks and why."""
+
+    quarantined: tuple[TaskFailure, ...]
+    chunks: int
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined)
+
+    def summary(self) -> str:
+        lost = ", ".join(failure.task_id for failure in self.quarantined)
+        return (
+            f"classify degraded: {len(self.quarantined)}/{self.chunks} "
+            f"chunks quarantined ({lost}); counts cover surviving chunks only"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "degraded": self.degraded,
+            "chunks": self.chunks,
+            "quarantined": [
+                {"task_id": f.task_id, "attempts": f.attempts, "error": f.error}
+                for f in self.quarantined
+            ],
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifyResult:
+    """Per-version tables plus the run's execution story."""
+
+    rows: tuple[VersionRow, ...]
+    baseline_index: int
+    chunks: int
+    records: int
+    elapsed: float
+    report: ExecutionReport
+    failure: ClassifyFailureReport | None
+
+    @property
+    def degraded(self) -> bool:
+        return self.failure is not None and self.failure.degraded
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records / self.elapsed if self.elapsed > 0 else 0.0
+
+    def row_for(self, version_index: int) -> VersionRow:
+        for row in self.rows:
+            if row.version_index == version_index:
+                return row
+        raise KeyError(f"version {version_index} not in this run")
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "baseline": self.baseline_index,
+            "chunks": self.chunks,
+            "records": self.records,
+            "elapsed": round(self.elapsed, 3),
+            "records_per_second": round(self.records_per_second, 1),
+            "degraded": self.degraded,
+            "resumed_chunks": self.report.resumed,
+            "executed_chunks": self.report.executed,
+            "retried": list(self.report.retried),
+            "pool_rebuilds": self.report.pool_rebuilds,
+            "failure": self.failure.to_json() if self.failure else None,
+            "rows": [row.to_json() for row in self.rows],
+        }
+
+    def summary(self) -> str:
+        latest = self.rows[-1]
+        lines = [
+            f"classified {self.records:,} records across {len(self.rows)} "
+            f"versions in {self.elapsed:.1f}s "
+            f"({self.records_per_second:,.0f} records/s, {self.chunks} chunks, "
+            f"{self.report.resumed} resumed)",
+            f"  latest (v{latest.version_index}): {latest.sites.sites:,} sites, "
+            f"{latest.third_party.third_party:,}/{latest.third_party.total:,} third-party, "
+            f"{latest.sites.skipped:,} malformed endpoints skipped",
+        ]
+        oldest = self.rows[0]
+        lines.append(
+            f"  oldest (v{oldest.version_index}): "
+            f"{oldest.misclassified_hostnames:,} hostname occurrences "
+            f"({oldest.misclassified_share:.2%}) grouped differently than the latest list"
+        )
+        if self.failure is not None and self.failure.degraded:
+            lines.append("  " + self.failure.summary())
+        return "\n".join(lines)
+
+
+class ClassifyEngine:
+    """Runs one classify job end to end inside a run directory.
+
+    The run directory owns the mutable state — ``checkpoints/`` (the
+    resume ledger), ``spills/`` (per-chunk version tables), and
+    ``spool/`` (columnarized generic streams) — so killing the process
+    and re-running with ``resume=True`` continues chunk-granularly.
+    """
+
+    def __init__(
+        self,
+        packed_path: str,
+        *,
+        version_indexes: Sequence[int],
+        baseline: int = -1,
+        workers: int = 1,
+        run_dir: str,
+        resume: bool = False,
+        policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        fingerprint_context: str | None = None,
+    ) -> None:
+        if not version_indexes:
+            raise ValueError("version_indexes must not be empty")
+        self._packed_path = os.path.abspath(packed_path)
+        self._history = PackedHistory.load(self._packed_path)
+        total = len(self._history)
+        self._versions = tuple(sorted({range(total)[i] for i in version_indexes}))
+        self._baseline = range(total)[baseline]
+        self._workers = workers
+        self._run_dir = run_dir
+        self._resume = resume
+        self._policy = policy
+        self._fault_plan = fault_plan
+        self._context = fingerprint_context
+        os.makedirs(run_dir, exist_ok=True)
+
+    @property
+    def version_indexes(self) -> tuple[int, ...]:
+        return self._versions
+
+    @property
+    def baseline_index(self) -> int:
+        return self._baseline
+
+    # -- sources --------------------------------------------------------------
+
+    def run_synthetic(
+        self, config: RequestLogConfig, *, blocks_per_task: int = 4
+    ) -> ClassifyResult:
+        """Classify the deterministic synthetic stream for ``config``.
+
+        Tasks carry generator coordinates, not records: each covers
+        ``blocks_per_task`` whole generation blocks, so task pickles
+        stay tiny at any scale and chunk content is independent of the
+        chunking itself.
+        """
+        if blocks_per_task < 1:
+            raise ValueError("blocks_per_task must be positive")
+        blocks = block_count(config)
+        refs = [
+            SyntheticChunkRef(
+                config=config,
+                first_block=first,
+                block_count=min(blocks_per_task, blocks - first),
+                index=index,
+            )
+            for index, first in enumerate(range(0, blocks, blocks_per_task))
+        ]
+        source = {
+            "kind": "synthetic",
+            "config": config,
+            "blocks_per_task": blocks_per_task,
+            "records": record_count(config),
+        }
+        return self._run(refs, source)
+
+    def run_stream(
+        self, records: Iterable[tuple[str, str]], *, chunk_records: int = 262_144
+    ) -> ClassifyResult:
+        """Classify an arbitrary record stream.
+
+        The stream is columnarized and spooled to the run directory
+        one chunk at a time (parent memory stays O(chunk)); workers
+        load digest-verified spool files.  Note: resuming a stream run
+        re-spools the stream — byte-identical streams reconcile to the
+        same manifest and resume; anything else clears the ledger.
+        """
+        refs = spool_chunks(records, chunk_records, os.path.join(self._run_dir, "spool"))
+        return self.run_spooled(refs)
+
+    def run_spooled(self, refs: Sequence[SpooledChunkRef]) -> ClassifyResult:
+        """Classify already-spooled chunks (the resume-friendly form)."""
+        source = {
+            "kind": "spooled",
+            "chunks": [(ref.digest, ref.nbytes) for ref in refs],
+        }
+        return self._run(list(refs), source)
+
+    # -- the run --------------------------------------------------------------
+
+    def _manifest(self, source: dict[str, Any]) -> dict[str, Any]:
+        material: dict[str, Any] = {
+            "scheme": "classify-v1",
+            "source": source,
+            "versions": list(self._versions),
+            "baseline": self._baseline,
+            "tries": [self._history.fingerprint(i) for i in self._versions],
+            "baseline_trie": self._history.fingerprint(self._baseline),
+        }
+        if self._context is not None:
+            material["context"] = self._context
+        return material
+
+    def _run(
+        self,
+        refs: Sequence[SyntheticChunkRef | SpooledChunkRef],
+        source: dict[str, Any],
+    ) -> ClassifyResult:
+        started = time.perf_counter()
+        checkpoint = CheckpointStore(os.path.join(self._run_dir, "checkpoints"))
+        checkpoint.reconcile(self._manifest(source), resume=self._resume)
+        spill_dir = os.path.join(self._run_dir, "spills")
+        tasks = [
+            ClassifyTask(
+                ref=ref,
+                packed_path=self._packed_path,
+                version_indexes=self._versions,
+                baseline_index=self._baseline,
+                spill_dir=spill_dir,
+            )
+            for ref in refs
+        ]
+        executor = ResilientExecutor(
+            workers=self._workers,
+            policy=self._policy,
+            checkpoint=checkpoint,
+            fault_plan=self._fault_plan,
+        )
+        results, report = executor.run(
+            classify_chunk,
+            tasks,
+            task_ids=[task.task_id for task in tasks],
+            validate=partial_validator(len(self._versions)),
+        )
+        partials = [value for value in results if value is not None]
+        failure: ClassifyFailureReport | None = None
+        if report.degraded:
+            failure = ClassifyFailureReport(
+                quarantined=report.quarantined, chunks=len(tasks)
+            )
+            checkpoint.write_report(failure.to_json())
+        rows = self._merge(partials)
+        return ClassifyResult(
+            rows=rows,
+            baseline_index=self._baseline,
+            chunks=len(tasks),
+            records=sum(partial.records for partial in partials),
+            elapsed=time.perf_counter() - started,
+            report=report,
+            failure=failure,
+        )
+
+    def _merge(self, partials: Sequence[ChunkPartial]) -> tuple[VersionRow, ...]:
+        """Version-at-a-time merge over the chunks' spill deltas.
+
+        One global ``site -> occurrences`` counter is carried through
+        the version axis; each version applies every chunk's delta,
+        drops zeroed sites, and snapshots the distinct/largest numbers.
+        """
+        hostnames = sum(partial.hostnames for partial in partials)
+        skipped_hosts = sum(partial.skipped_hosts for partial in partials)
+        skipped_pairs = sum(partial.skipped_pairs for partial in partials)
+        total_pairs = sum(partial.total_pairs for partial in partials)
+        readers = [SpillReader(partial.spill.path) for partial in partials]
+        counter: dict[str, int] = {}
+        rows: list[VersionRow] = []
+        try:
+            for slot, version_index in enumerate(self._versions):
+                get = counter.get
+                for reader in readers:
+                    for site, delta in reader.read(slot).items():
+                        value = get(site, 0) + delta
+                        if value:
+                            counter[site] = value
+                        else:
+                            del counter[site]
+                rows.append(
+                    VersionRow(
+                        version_index=version_index,
+                        trie_fingerprint=self._history.fingerprint(version_index),
+                        sites=StreamedSiteCounts(
+                            hostnames=hostnames,
+                            sites=len(counter),
+                            largest_site=max(counter.values(), default=0),
+                            skipped=skipped_hosts,
+                        ),
+                        third_party=StreamedThirdPartyCounts(
+                            third_party=sum(p.third_party[slot] for p in partials),
+                            total=total_pairs,
+                            skipped=skipped_pairs,
+                        ),
+                        misclassified_hostnames=sum(
+                            p.misclassified[slot] for p in partials
+                        ),
+                    )
+                )
+        finally:
+            for reader in readers:
+                reader.close()
+        return tuple(rows)

@@ -12,12 +12,21 @@ models that dataset and the operations over it:
 * :mod:`repro.webgraph.thirdparty` — third-party request
   classification (Figure 6);
 * :mod:`repro.webgraph.synthesis` — the deterministic crawl-snapshot
-  generator calibrated against the paper's harm schedule.
+  generator calibrated against the paper's harm schedule;
+* :mod:`repro.webgraph.requestlog` — the streaming, block-addressable
+  request-log generator feeding the bulk classify engine.
 """
 
 from repro.webgraph.archive import Snapshot
 from repro.webgraph.crawler import Crawler, Document, SyntheticWeb
 from repro.webgraph.records import Page
+from repro.webgraph.requestlog import (
+    RequestLogConfig,
+    block_count,
+    iter_block,
+    iter_records,
+    record_count,
+)
 from repro.webgraph.sites import (
     IncrementalGrouper,
     group_sites,
@@ -41,8 +50,10 @@ __all__ = [
     "Document",
     "IncrementalGrouper",
     "Page",
+    "RequestLogConfig",
     "Snapshot",
     "SnapshotConfig",
+    "block_count",
     "StreamedSiteCounts",
     "StreamedThirdPartyCounts",
     "SyntheticWeb",
@@ -52,6 +63,9 @@ __all__ = [
     "count_third_party_streaming",
     "group_sites",
     "hostnames_table",
+    "iter_block",
+    "iter_records",
+    "record_count",
     "requests_table",
     "reversed_labels_of",
     "site_for_reversed",
